@@ -1,0 +1,300 @@
+// Benchmarks: one testing.B benchmark per reproduced table/figure of the
+// TAC paper (run the exhibit end to end at a reduced scale), plus
+// micro-benchmarks for the kernels the exhibits are built from (the SZ
+// stages, the three pre-process strategies, and the post-analysis tools).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The paper-style tables themselves are printed by cmd/benchall.
+package tac_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	tac "repro"
+	"repro/internal/amr"
+	"repro/internal/analysis"
+	"repro/internal/baseline"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/kdtree"
+	"repro/internal/preprocess"
+	"repro/internal/sim"
+	"repro/internal/sz"
+)
+
+// benchScale keeps the full exhibit set fast enough for -bench=. runs;
+// cmd/benchall defaults to the larger scale 4.
+const benchScale = 8
+
+var (
+	envOnce  sync.Once
+	benchEnv *experiments.Env
+)
+
+func env() *experiments.Env {
+	envOnce.Do(func() { benchEnv = experiments.NewEnv(benchScale) })
+	return benchEnv
+}
+
+func dataset(b *testing.B, name string) *amr.Dataset {
+	b.Helper()
+	ds, err := env().Dataset(name, sim.BaryonDensity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func level(b *testing.B, ref experiments.LevelRef) *amr.Level {
+	b.Helper()
+	l, err := env().Level(ref, sim.BaryonDensity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+// benchExhibit runs one full table/figure reproduction per iteration.
+func benchExhibit(b *testing.B, id string) {
+	b.Helper()
+	e := env()
+	// Warm the dataset cache outside the timed region.
+	if err := experiments.RunByID(io.Discard, e, id); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunByID(io.Discard, e, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper exhibit.
+
+func BenchmarkTable1Datasets(b *testing.B)      { benchExhibit(b, "table1") }
+func BenchmarkFig7NaSTvsOpST(b *testing.B)      { benchExhibit(b, "fig7") }
+func BenchmarkFig11Strategies(b *testing.B)     { benchExhibit(b, "fig11") }
+func BenchmarkFig12ZFvsGSP(b *testing.B)        { benchExhibit(b, "fig12") }
+func BenchmarkFig13PreprocessTime(b *testing.B) { benchExhibit(b, "fig13") }
+func BenchmarkFig14Run1RateDist(b *testing.B)   { benchExhibit(b, "fig14") }
+func BenchmarkFig15Run2RateDist(b *testing.B)   { benchExhibit(b, "fig15") }
+func BenchmarkFig18EBSweep(b *testing.B)        { benchExhibit(b, "fig18") }
+func BenchmarkFig19PowerSpectrum(b *testing.B)  { benchExhibit(b, "fig19") }
+func BenchmarkTable2Throughput(b *testing.B)    { benchExhibit(b, "table2") }
+func BenchmarkTable3HaloFinder(b *testing.B)    { benchExhibit(b, "table3") }
+
+// Codec-level benchmarks (Table 2's throughput building blocks).
+
+func benchCompress(b *testing.B, c codec.Codec, name string) {
+	ds := dataset(b, name)
+	cfg := codec.Config{ErrorBound: 1e9}
+	b.SetBytes(int64(ds.OriginalBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecompress(b *testing.B, c codec.Codec, name string) {
+	ds := dataset(b, name)
+	blob, err := c.Compress(ds, codec.Config{ErrorBound: 1e9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(ds.OriginalBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decompress(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTACCompressZ10(b *testing.B)   { benchCompress(b, core.TAC{}, "Run1_Z10") }
+func BenchmarkTACDecompressZ10(b *testing.B) { benchDecompress(b, core.TAC{}, "Run1_Z10") }
+func BenchmarkTACCompressT2(b *testing.B)    { benchCompress(b, core.TAC{}, "Run2_T2") }
+func Benchmark1DCompressZ10(b *testing.B)    { benchCompress(b, baseline.Naive1D{}, "Run1_Z10") }
+func BenchmarkZMeshCompressZ10(b *testing.B) { benchCompress(b, baseline.ZMesh{}, "Run1_Z10") }
+func Benchmark3DCompressZ10(b *testing.B)    { benchCompress(b, baseline.Uniform3D{}, "Run1_Z10") }
+func Benchmark3DCompressT2(b *testing.B)     { benchCompress(b, baseline.Uniform3D{}, "Run2_T2") }
+
+// Pre-process strategy kernels (Fig. 13's building blocks, plus the
+// ClassicKD ablation for AKDTree's adaptive split choice).
+
+func BenchmarkOpSTExtractSparse(b *testing.B) {
+	l := level(b, experiments.LevelRef{Label: "z10 fine", Dataset: "Run1_Z10", Level: 0})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		preprocess.OpST(l.Mask)
+	}
+}
+
+func BenchmarkOpSTExtractDense(b *testing.B) {
+	l := level(b, experiments.LevelRef{Label: "T2 coarse", Dataset: "Run2_T2", Level: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		preprocess.OpST(l.Mask)
+	}
+}
+
+func BenchmarkAKDTreeExtractSparse(b *testing.B) {
+	l := level(b, experiments.LevelRef{Label: "z10 fine", Dataset: "Run1_Z10", Level: 0})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kdtree.Adaptive(l.Mask)
+	}
+}
+
+func BenchmarkAKDTreeExtractDense(b *testing.B) {
+	l := level(b, experiments.LevelRef{Label: "T2 coarse", Dataset: "Run2_T2", Level: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kdtree.Adaptive(l.Mask)
+	}
+}
+
+func BenchmarkClassicKDExtract(b *testing.B) {
+	l := level(b, experiments.LevelRef{Label: "z10 fine", Dataset: "Run1_Z10", Level: 0})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kdtree.Classic(l.Mask)
+	}
+}
+
+func BenchmarkGSPPad(b *testing.B) {
+	l := level(b, experiments.LevelRef{Label: "z10 coarse", Dataset: "Run1_Z10", Level: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := l.Grid.Clone()
+		preprocess.GSP(g, l.Mask, l.UnitBlock, preprocess.GSPOptions{})
+	}
+}
+
+// SZ kernel benchmarks.
+
+func BenchmarkSZCompress3D(b *testing.B) {
+	ds := dataset(b, "Run1_Z10")
+	uni := ds.FlattenToUniform()
+	b.SetBytes(int64(4 * uni.Dim.Count()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sz.Compress3D(uni, sz.Options{ErrorBound: 1e9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSZDecompress3D(b *testing.B) {
+	ds := dataset(b, "Run1_Z10")
+	uni := ds.FlattenToUniform()
+	blob, _, err := sz.Compress3D(uni, sz.Options{ErrorBound: 1e9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(4 * uni.Dim.Count()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sz.Decompress3D[float32](blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSZCompress1D(b *testing.B) {
+	ds := dataset(b, "Run1_Z10")
+	vals := ds.Levels[0].MaskedValues(nil)
+	b.SetBytes(int64(4 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sz.Compress1D(vals, sz.Options{ErrorBound: 1e9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Post-analysis benchmarks (metrics 5 and 6).
+
+func BenchmarkPowerSpectrum(b *testing.B) {
+	ds := dataset(b, "Run1_Z2")
+	uni := ds.FlattenToUniform()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.ComputePowerSpectrum(uni); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHaloFinder(b *testing.B) {
+	ds := dataset(b, "Run1_Z2")
+	uni := ds.FlattenToUniform()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.FindHalos(uni, analysis.HaloFinderOptions{MinCells: 4})
+	}
+}
+
+// Data generation benchmark (the substrate itself).
+
+func BenchmarkGenerateDataset(b *testing.B) {
+	spec, err := sim.SpecByName("Run1_Z10", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Generate(spec, sim.BaryonDensity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Facade round trip, as a user would call it.
+
+func BenchmarkFacadeRoundTrip(b *testing.B) {
+	ds := dataset(b, "Run1_Z10")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := tac.Compress(ds, tac.Config{ErrorBound: 1e9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tac.Decompress(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTACCompressZ10Parallel(b *testing.B) {
+	ds := dataset(b, "Run1_Z10")
+	cfg := codec.Config{ErrorBound: 1e9, Workers: -1}
+	b.SetBytes(int64(ds.OriginalBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (core.TAC{}).Compress(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSZCompressBlocksParallel(b *testing.B) {
+	l := level(b, experiments.LevelRef{Label: "z10 fine", Dataset: "Run1_Z10", Level: 0})
+	boxes := preprocess.OpST(l.Mask)
+	groups := preprocess.GroupBoxes(boxes)
+	grids := preprocess.Gather(l.Grid, groups[len(groups)-1].Boxes, l.UnitBlock)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sz.CompressBlocksParallel(grids, sz.Options{ErrorBound: 1e9}, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Command tacc compresses and decompresses .amr snapshots with TAC or one
+// of the paper's baselines.
+//
+// Usage:
+//
+//	tacc compress   [-codec TAC] [-eb 1e9] [-rel] [-scales 3,1] [-adaptive] in.amr out.tacz
+//	tacc decompress in.tacz out.amr
+//	tacc info       in.amr
+//	tacc verify     [-codec TAC] [-eb 1e9] [-rel] in.amr    (round-trip check)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/amr"
+	"repro/internal/baseline"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/render"
+	"repro/internal/sz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tacc: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "compress":
+		compress(os.Args[2:])
+	case "decompress":
+		decompress(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "verify":
+		verify(os.Args[2:])
+	case "errmap":
+		errmap(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tacc compress   [-codec TAC|1D|zMesh|3D] [-eb 1e9] [-rel] [-scales 3,1] [-adaptive] in.amr out.tacz
+  tacc decompress in.tacz out.amr
+  tacc info       in.amr
+  tacc verify     [-codec ...] [-eb ...] [-rel] in.amr
+  tacc errmap     [-codec ...] [-eb ...] [-rel] [-level 0] [-slice -1] in.amr out.png`)
+	os.Exit(2)
+}
+
+func pickCodec(name string) codec.Codec {
+	switch name {
+	case "TAC", "tac":
+		return core.TAC{}
+	case "1D", "1d":
+		return baseline.Naive1D{}
+	case "zMesh", "zmesh":
+		return baseline.ZMesh{}
+	case "3D", "3d":
+		return baseline.Uniform3D{}
+	default:
+		log.Fatalf("unknown codec %q", name)
+		return nil
+	}
+}
+
+func parseCfg(fs *flag.FlagSet, args []string) (codec.Codec, codec.Config, []string) {
+	name := fs.String("codec", "TAC", "codec: TAC, 1D, zMesh, 3D")
+	eb := fs.Float64("eb", 1e9, "error bound")
+	rel := fs.Bool("rel", false, "interpret -eb as value-range-relative")
+	scales := fs.String("scales", "", "per-level error-bound multipliers, fine to coarse (e.g. 3,1)")
+	adaptive := fs.Bool("adaptive", false, "switch to the 3D baseline when the finest level is dense (Sec. 4.4)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	cfg := codec.Config{ErrorBound: *eb, AdaptiveBaseline: *adaptive}
+	if *rel {
+		cfg.Mode = sz.Rel
+	}
+	if *scales != "" {
+		for _, part := range strings.Split(*scales, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				log.Fatalf("bad -scales entry %q: %v", part, err)
+			}
+			cfg.LevelScales = append(cfg.LevelScales, v)
+		}
+	}
+	return pickCodec(*name), cfg, fs.Args()
+}
+
+func compress(args []string) {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	c, cfg, rest := parseCfg(fs, args)
+	if len(rest) != 2 {
+		usage()
+	}
+	ds, err := amr.Load(rest[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	blob, err := c.Compress(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dt := time.Since(t0)
+	if err := os.WriteFile(rest[1], blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	orig := ds.OriginalBytes()
+	fmt.Printf("%s: %d -> %d bytes (CR %.1f, %.3f bits/val) in %v (%.1f MB/s)\n",
+		c.Name(), orig, len(blob),
+		metrics.CompressionRatio(orig, len(blob)),
+		metrics.BitRate(len(blob), ds.StoredCells()),
+		dt.Round(time.Millisecond), float64(orig)/1e6/dt.Seconds())
+}
+
+func decompress(args []string) {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	rest := fs.Args()
+	if len(rest) != 2 {
+		usage()
+	}
+	blob, err := os.ReadFile(rest[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	// TAC's decompressor dispatches 3D-baseline payloads itself; try the
+	// other codecs for completeness.
+	var ds *amr.Dataset
+	for _, c := range []codec.Codec{core.TAC{}, baseline.Naive1D{}, baseline.ZMesh{}, baseline.Uniform3D{}} {
+		if ds, err = c.Decompress(blob); err == nil {
+			break
+		}
+	}
+	if ds == nil {
+		log.Fatalf("no codec accepts this payload: %v", err)
+	}
+	if err := ds.Save(rest[1]); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d stored cells, %d levels)\n", rest[1], ds.StoredCells(), len(ds.Levels))
+}
+
+func info(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	ds, err := amr.Load(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("name: %s\nfield: %s\nratio: %d\nlevels: %d\nstored cells: %d (%.1f MB)\n",
+		ds.Name, ds.Field, ds.Ratio, len(ds.Levels), ds.StoredCells(), float64(ds.OriginalBytes())/1e6)
+	for li, l := range ds.Levels {
+		fmt.Printf("  level %d: %v cells, unit block %d, density %.4g%%\n",
+			li, l.Grid.Dim, l.UnitBlock, l.Density()*100)
+	}
+	if err := ds.Validate(); err != nil {
+		fmt.Printf("VALIDATION FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("structure: valid")
+}
+
+func verify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	c, cfg, rest := parseCfg(fs, args)
+	if len(rest) != 1 {
+		usage()
+	}
+	ds, err := amr.Load(rest[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, err := c.Compress(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recon, err := c.Decompress(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist, err := metrics.DatasetDistortion(ds, recon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: CR %.1f, PSNR %.2f dB, max err %.4g\n",
+		c.Name(), metrics.CompressionRatio(ds.OriginalBytes(), len(blob)), dist.PSNR(), dist.MaxErr)
+}
+
+// errmap compresses, decompresses, and renders a Fig. 7/12-style error-map
+// slice of one level (brighter = larger error).
+func errmap(args []string) {
+	fs := flag.NewFlagSet("errmap", flag.ExitOnError)
+	level := fs.Int("level", 0, "AMR level to render (0 = finest)")
+	slice := fs.Int("slice", -1, "z slice index (-1 = middle)")
+	c, cfg, rest := parseCfg(fs, args)
+	if len(rest) != 2 {
+		usage()
+	}
+	ds, err := amr.Load(rest[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *level < 0 || *level >= len(ds.Levels) {
+		log.Fatalf("dataset has no level %d", *level)
+	}
+	blob, err := c.Compress(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recon, err := c.Decompress(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, rl := ds.Levels[*level], recon.Levels[*level]
+	k := *slice
+	if k < 0 {
+		k = l.Grid.Dim.Z / 2
+	}
+	if err := render.WriteErrorMap(rest[1], l.Grid, rl.Grid, k); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: wrote error map of level %d slice %d to %s (CR %.1f)\n",
+		c.Name(), *level, k, rest[1],
+		metrics.CompressionRatio(ds.OriginalBytes(), len(blob)))
+}

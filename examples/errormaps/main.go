@@ -1,0 +1,69 @@
+// Errormaps: regenerate the paper's visual comparisons (Figs. 7 and 12) as
+// PNG files — one error map per pre-process strategy, brighter = larger
+// reconstruction error, plus a log-scaled view of the field itself.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	tac "repro"
+	"repro/internal/amr"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	outDir := "errormaps_out"
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	env := experiments.NewEnv(8)
+
+	// Fig. 7: NaST vs OpST on the sparse fine level.
+	fine, err := env.Level(experiments.LevelRef{Label: "z10 fine", Dataset: "Run1_Z10", Level: 0}, tac.BaryonDensity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	renderStrategies(env, outDir, "fig7", fine, 1e9, []codec.Strategy{codec.NaST, codec.OpST})
+
+	// Fig. 12: ZF vs GSP on the dense coarse level.
+	coarse, err := env.Level(experiments.LevelRef{Label: "z10 coarse", Dataset: "Run1_Z10", Level: 1}, tac.BaryonDensity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	renderStrategies(env, outDir, "fig12", coarse, 1e9, []codec.Strategy{codec.ZF, codec.GSP})
+
+	fmt.Printf("wrote PNGs to %s/ (brighter = larger error)\n", outDir)
+}
+
+func renderStrategies(env *experiments.Env, dir, prefix string, l *amr.Level, eb float64, sts []codec.Strategy) {
+	k := l.Grid.Dim.Z / 2
+	field := fmt.Sprintf("%s/%s_field.png", dir, prefix)
+	if err := render.WriteFieldMap(field, l.Grid, k); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (density %.0f%%): field slice -> %s\n", prefix, l.Density()*100, field)
+	for _, st := range sts {
+		blob, err := core.CompressLevel(l, st, eb, codec.Config{ErrorBound: eb})
+		if err != nil {
+			log.Fatal(err)
+		}
+		recon := amr.NewLevel(l.Grid.Dim, l.UnitBlock)
+		copy(recon.Mask.Bits, l.Mask.Bits)
+		if err := core.DecompressLevel(recon, blob); err != nil {
+			log.Fatal(err)
+		}
+		path := fmt.Sprintf("%s/%s_%s.png", dir, prefix, st)
+		if err := render.WriteErrorMap(path, l.Grid, recon.Grid, k); err != nil {
+			log.Fatal(err)
+		}
+		n := l.StoredCells()
+		fmt.Printf("  %-6s CR %.1f -> %s\n", st, metrics.CompressionRatio(4*n, len(blob)), path)
+	}
+}

@@ -1,0 +1,227 @@
+package amr
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// buildTwoLevel creates a valid two-level dataset by hand: the fine level
+// owns the first half of the domain (in coarse-block terms), the coarse
+// level the rest.
+func buildTwoLevel(t *testing.T) *Dataset {
+	t.Helper()
+	fine := NewLevel(grid.Dims{X: 16, Y: 16, Z: 16}, 4) // 4³ blocks → 4x4x4 block grid
+	coarse := NewLevel(grid.Dims{X: 8, Y: 8, Z: 8}, 4)  // 2x2x2 block grid
+	// Coarse block (0,*,*) refined → fine blocks x∈{0,1}; coarse owns x=1.
+	for bx := 0; bx < 2; bx++ {
+		for by := 0; by < 2; by++ {
+			for bz := 0; bz < 2; bz++ {
+				coarse.Mask.Set(bx, by, bz, bx == 1)
+			}
+		}
+	}
+	for bx := 0; bx < 4; bx++ {
+		for by := 0; by < 4; by++ {
+			for bz := 0; bz < 4; bz++ {
+				fine.Mask.Set(bx, by, bz, bx < 2)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := range fine.Grid.Data {
+		fine.Grid.Data[i] = float32(rng.NormFloat64())
+	}
+	for i := range coarse.Grid.Data {
+		coarse.Grid.Data[i] = float32(rng.NormFloat64())
+	}
+	ds := &Dataset{Name: "hand", Field: "f", Ratio: 2, Levels: []*Level{fine, coarse}}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("hand-built dataset invalid: %v", err)
+	}
+	return ds
+}
+
+func TestValidateCatchesGaps(t *testing.T) {
+	ds := buildTwoLevel(t)
+	ds.Levels[1].Mask.Set(1, 0, 0, false) // drop a coarse leaf → gap
+	if err := ds.Validate(); err == nil {
+		t.Fatal("gap should fail validation")
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	ds := buildTwoLevel(t)
+	ds.Levels[1].Mask.Set(0, 0, 0, true) // coarse block also covered by fine
+	if err := ds.Validate(); err == nil {
+		t.Fatal("overlap should fail validation")
+	}
+}
+
+func TestValidateCatchesBadDims(t *testing.T) {
+	ds := buildTwoLevel(t)
+	ds.Levels[1] = NewLevel(grid.Dims{X: 4, Y: 4, Z: 4}, 4) // wrong coarse dims
+	if err := ds.Validate(); err == nil {
+		t.Fatal("wrong level dims should fail validation")
+	}
+}
+
+func TestMaskedValuesRoundTrip(t *testing.T) {
+	ds := buildTwoLevel(t)
+	l := ds.Levels[0]
+	vals := l.MaskedValues(nil)
+	if len(vals) != l.StoredCells() {
+		t.Fatalf("MaskedValues len %d, want %d", len(vals), l.StoredCells())
+	}
+	clone := NewLevel(l.Grid.Dim, l.UnitBlock)
+	copy(clone.Mask.Bits, l.Mask.Bits)
+	rest := clone.SetMaskedValues(vals)
+	if len(rest) != 0 {
+		t.Fatalf("SetMaskedValues left %d values", len(rest))
+	}
+	// Masked cells identical, unmasked cells zero.
+	for bx := 0; bx < 4; bx++ {
+		for x := bx * 4; x < (bx+1)*4; x++ {
+			for y := 0; y < 16; y++ {
+				for z := 0; z < 16; z++ {
+					want := l.Grid.At(x, y, z)
+					if bx >= 2 {
+						want = 0
+					}
+					if got := clone.Grid.At(x, y, z); got != want {
+						t.Fatalf("cell (%d,%d,%d): got %v want %v", x, y, z, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFlattenToUniform(t *testing.T) {
+	ds := buildTwoLevel(t)
+	uni := ds.FlattenToUniform()
+	if uni.Dim != ds.FinestDims() {
+		t.Fatalf("uniform dims %v", uni.Dim)
+	}
+	// Fine-owned half: identical to fine grid.
+	if uni.At(3, 5, 7) != ds.Levels[0].Grid.At(3, 5, 7) {
+		t.Fatal("fine region not copied")
+	}
+	// Coarse-owned half: injected (each coarse cell replicated 2³).
+	cv := ds.Levels[1].Grid.At(5, 3, 2)
+	for dx := 0; dx < 2; dx++ {
+		for dy := 0; dy < 2; dy++ {
+			for dz := 0; dz < 2; dz++ {
+				if uni.At(10+dx, 6+dy, 4+dz) != cv {
+					t.Fatal("coarse region not injected")
+				}
+			}
+		}
+	}
+}
+
+func TestStoredCellsAndBytes(t *testing.T) {
+	ds := buildTwoLevel(t)
+	// Fine: 32 blocks × 64 cells; coarse: 4 blocks × 64 cells.
+	want := 32*64 + 4*64
+	if ds.StoredCells() != want {
+		t.Fatalf("StoredCells %d, want %d", ds.StoredCells(), want)
+	}
+	if ds.OriginalBytes() != 4*want {
+		t.Fatalf("OriginalBytes %d", ds.OriginalBytes())
+	}
+}
+
+func TestLevelScale(t *testing.T) {
+	ds := buildTwoLevel(t)
+	if ds.LevelScale(0) != 1 || ds.LevelScale(1) != 2 {
+		t.Fatalf("LevelScale: %d, %d", ds.LevelScale(0), ds.LevelScale(1))
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	ds := buildTwoLevel(t)
+	c := ds.Clone()
+	c.Levels[0].Grid.Data[0] = 999
+	c.Levels[0].Mask.Bits[0] = !c.Levels[0].Mask.Bits[0]
+	if ds.Levels[0].Grid.Data[0] == 999 {
+		t.Fatal("Clone shares grid storage")
+	}
+	if ds.Levels[0].Mask.Bits[0] == c.Levels[0].Mask.Bits[0] {
+		t.Fatal("Clone shares mask storage")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	ds := buildTwoLevel(t)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != ds.Name || got.Field != ds.Field || got.Ratio != ds.Ratio {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Levels) != len(ds.Levels) {
+		t.Fatalf("level count %d", len(got.Levels))
+	}
+	for li := range ds.Levels {
+		a := ds.Levels[li].MaskedValues(nil)
+		b := got.Levels[li].MaskedValues(nil)
+		if len(a) != len(b) {
+			t.Fatalf("level %d value count", li)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("level %d value %d: %v vs %v", li, i, a[i], b[i])
+			}
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte("not an amr file at all"))); err == nil {
+		t.Fatal("garbage should be rejected")
+	}
+	ds := buildTwoLevel(t)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := ReadFrom(bytes.NewReader(full[:len(full)/2])); err == nil {
+		t.Fatal("truncated file should be rejected")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	ds := buildTwoLevel(t)
+	path := t.TempDir() + "/x.amr"
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StoredCells() != ds.StoredCells() {
+		t.Fatal("loaded dataset differs")
+	}
+}
+
+func TestNewLevelPanicsOnBadUnitBlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLevel should panic when unit block does not divide dims")
+		}
+	}()
+	NewLevel(grid.Dims{X: 10, Y: 10, Z: 10}, 4)
+}

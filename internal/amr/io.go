@@ -1,0 +1,211 @@
+package amr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/grid"
+)
+
+// File format for .amr snapshots written by cmd/datagen and consumed by
+// cmd/tacc: a small header followed, per level, by the packed occupancy
+// mask and the masked cell values (only occupied unit blocks are stored,
+// which is exactly what an AMR plotfile stores).
+
+const (
+	fileMagic   = "AMRD"
+	fileVersion = uint32(1)
+)
+
+// Write serializes the dataset.
+func (ds *Dataset) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return err
+	}
+	writeU32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	writeStr := func(s string) error {
+		if err := writeU32(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeU32(fileVersion); err != nil {
+		return err
+	}
+	if err := writeStr(ds.Name); err != nil {
+		return err
+	}
+	if err := writeStr(ds.Field); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(ds.Ratio)); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(ds.Levels))); err != nil {
+		return err
+	}
+	for _, l := range ds.Levels {
+		d := l.Grid.Dim
+		for _, v := range []uint32{uint32(d.X), uint32(d.Y), uint32(d.Z), uint32(l.UnitBlock)} {
+			if err := writeU32(v); err != nil {
+				return err
+			}
+		}
+		// Packed mask bits.
+		packed := make([]byte, (len(l.Mask.Bits)+7)/8)
+		for i, b := range l.Mask.Bits {
+			if b {
+				packed[i/8] |= 1 << (i % 8)
+			}
+		}
+		if _, err := bw.Write(packed); err != nil {
+			return err
+		}
+		vals := l.MaskedValues(nil)
+		if err := writeU32(uint32(len(vals))); err != nil {
+			return err
+		}
+		buf := make([]byte, 4*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFrom deserializes a dataset written by Write.
+func ReadFrom(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("amr: reading magic: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("amr: bad magic %q", magic)
+	}
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	readStr := func() (string, error) {
+		n, err := readU32()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("amr: implausible string length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	ver, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != fileVersion {
+		return nil, fmt.Errorf("amr: unsupported file version %d", ver)
+	}
+	ds := &Dataset{}
+	if ds.Name, err = readStr(); err != nil {
+		return nil, err
+	}
+	if ds.Field, err = readStr(); err != nil {
+		return nil, err
+	}
+	ratio, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	ds.Ratio = int(ratio)
+	nlev, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if nlev == 0 || nlev > 16 {
+		return nil, fmt.Errorf("amr: implausible level count %d", nlev)
+	}
+	for li := uint32(0); li < nlev; li++ {
+		var d grid.Dims
+		var ub uint32
+		for _, p := range []*int{&d.X, &d.Y, &d.Z} {
+			v, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			*p = int(v)
+		}
+		if ub, err = readU32(); err != nil {
+			return nil, err
+		}
+		if d.Count() <= 0 || d.Count() > 1<<31 {
+			return nil, fmt.Errorf("amr: implausible level dims %v", d)
+		}
+		l := NewLevel(d, int(ub))
+		packed := make([]byte, (len(l.Mask.Bits)+7)/8)
+		if _, err := io.ReadFull(br, packed); err != nil {
+			return nil, fmt.Errorf("amr: reading level %d mask: %w", li, err)
+		}
+		for i := range l.Mask.Bits {
+			l.Mask.Bits[i] = packed[i/8]&(1<<(i%8)) != 0
+		}
+		nv, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		want := l.StoredCells()
+		if int(nv) != want {
+			return nil, fmt.Errorf("amr: level %d holds %d values, mask implies %d", li, nv, want)
+		}
+		buf := make([]byte, 4*nv)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("amr: reading level %d values: %w", li, err)
+		}
+		vals := make([]Value, nv)
+		for i := range vals {
+			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		l.SetMaskedValues(vals)
+		ds.Levels = append(ds.Levels, l)
+	}
+	return ds, nil
+}
+
+// Save writes the dataset to path.
+func (ds *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ds.Write(f); err != nil {
+		return fmt.Errorf("amr: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Load reads a dataset from path.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ds, err := ReadFrom(f)
+	if err != nil {
+		return nil, fmt.Errorf("amr: reading %s: %w", path, err)
+	}
+	return ds, nil
+}

@@ -1,0 +1,97 @@
+// Package analysis implements the two cosmology-specific post-analysis
+// metrics of the TAC paper's Sec. 4.2: the matter power spectrum P(k)
+// (metric 5, the paper runs Gimlet) and the halo finder (metric 6, the
+// Davis et al. friends-of-friends-style over-density finder Nyx uses).
+// Both consume uniform-resolution grids, i.e. flattened AMR datasets.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fft"
+	"repro/internal/grid"
+)
+
+// PowerSpectrum holds radially binned P(k): Pk[i] is the mean power of
+// modes with ⌊|k|⌋ == K[i], k in grid frequency units.
+type PowerSpectrum struct {
+	K  []float64
+	Pk []float64
+}
+
+// ComputePowerSpectrum computes the matter power spectrum of a density
+// field: the squared magnitude of the Fourier transform of the density
+// contrast δ = ρ/ρ̄ − 1, binned in spherical shells of |k|. The field edge
+// must be a power of two.
+func ComputePowerSpectrum[T grid.Float](rho *grid.Grid3[T]) (PowerSpectrum, error) {
+	n := rho.Dim.X
+	if !rho.Dim.IsCube() || !fft.IsPow2(n) {
+		return PowerSpectrum{}, fmt.Errorf("analysis: power spectrum needs a power-of-two cube, got %v", rho.Dim)
+	}
+	mean := rho.Mean()
+	if mean == 0 {
+		return PowerSpectrum{}, fmt.Errorf("analysis: zero-mean density field")
+	}
+	c := fft.NewGrid3C(n)
+	inv := 1 / mean
+	for i, v := range rho.Data {
+		c.Data[i] = complex(float64(v)*inv-1, 0)
+	}
+	fft.Forward3(c)
+
+	nbins := n / 2
+	sum := make([]float64, nbins)
+	cnt := make([]int, nbins)
+	norm := 1 / float64(len(c.Data))
+	for x := 0; x < n; x++ {
+		fx := float64(fft.FreqIndex(x, n))
+		for y := 0; y < n; y++ {
+			fy := float64(fft.FreqIndex(y, n))
+			base := (x*n + y) * n
+			for z := 0; z < n; z++ {
+				fz := float64(fft.FreqIndex(z, n))
+				k := math.Sqrt(fx*fx + fy*fy + fz*fz)
+				bin := int(k)
+				if bin < 1 || bin >= nbins {
+					continue
+				}
+				v := c.Data[base+z]
+				p := (real(v)*real(v) + imag(v)*imag(v)) * norm
+				sum[bin] += p
+				cnt[bin]++
+			}
+		}
+	}
+	var ps PowerSpectrum
+	for b := 1; b < nbins; b++ {
+		if cnt[b] == 0 {
+			continue
+		}
+		ps.K = append(ps.K, float64(b))
+		ps.Pk = append(ps.Pk, sum[b]/float64(cnt[b]))
+	}
+	return ps, nil
+}
+
+// RelativeError returns per-bin |P′(k)−P(k)|/P(k) for two spectra with
+// identical binning, and the maximum over bins with k < kMax — the paper's
+// acceptance criterion is a maximum relative error within 1% for all
+// k < 10 (scaled to our grid: k below half the Nyquist bin).
+func (ps PowerSpectrum) RelativeError(other PowerSpectrum, kMax float64) ([]float64, float64, error) {
+	if len(ps.K) != len(other.K) {
+		return nil, 0, fmt.Errorf("analysis: spectra have %d vs %d bins", len(ps.K), len(other.K))
+	}
+	errs := make([]float64, len(ps.K))
+	var maxErr float64
+	for i := range ps.K {
+		if ps.Pk[i] == 0 {
+			continue
+		}
+		errs[i] = math.Abs(other.Pk[i]-ps.Pk[i]) / ps.Pk[i]
+		if ps.K[i] < kMax && errs[i] > maxErr {
+			maxErr = errs[i]
+		}
+	}
+	return errs, maxErr, nil
+}

@@ -1,0 +1,145 @@
+// Package bitio provides bit-granular writers and readers plus varint
+// framing helpers, used by the Huffman coder and the TAC container format.
+package bitio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Writer accumulates bits most-significant-first into a byte buffer.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // pending bits, left-aligned within nbits
+	nbit uint   // number of pending bits in cur (< 8 after flushes)
+}
+
+// NewWriter returns an empty bit writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// WriteBits appends the low n bits of v, most significant first. n must be
+// in [0, 57] so the pending accumulator cannot overflow.
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	if n > 57 {
+		panic(fmt.Sprintf("bitio: WriteBits n=%d out of range", n))
+	}
+	w.cur = w.cur<<n | (v & (1<<n - 1))
+	w.nbit += n
+	for w.nbit >= 8 {
+		w.nbit -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.nbit))
+	}
+}
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(b bool) {
+	if b {
+		w.WriteBits(1, 1)
+	} else {
+		w.WriteBits(0, 1)
+	}
+}
+
+// Bytes flushes any partial byte (zero-padded on the right) and returns the
+// accumulated buffer. The writer may not be reused afterwards.
+func (w *Writer) Bytes() []byte {
+	if w.nbit > 0 {
+		w.buf = append(w.buf, byte(w.cur<<(8-w.nbit)))
+		w.nbit = 0
+		w.cur = 0
+	}
+	return w.buf
+}
+
+// BitLen returns the number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nbit) }
+
+// Reader consumes bits most-significant-first from a byte slice.
+type Reader struct {
+	buf  []byte
+	pos  int    // next byte index
+	cur  uint64 // loaded bits, right-aligned
+	nbit uint   // number of valid bits in cur
+}
+
+// NewReader wraps buf for bit-level reading.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ErrUnexpectedEOF is returned when a read runs past the end of the buffer.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of bit stream")
+
+// ReadBits reads n bits (n ≤ 57) and returns them right-aligned.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 57 {
+		panic(fmt.Sprintf("bitio: ReadBits n=%d out of range", n))
+	}
+	for r.nbit < n {
+		if r.pos >= len(r.buf) {
+			return 0, ErrUnexpectedEOF
+		}
+		r.cur = r.cur<<8 | uint64(r.buf[r.pos])
+		r.pos++
+		r.nbit += 8
+	}
+	r.nbit -= n
+	v := (r.cur >> r.nbit) & (1<<n - 1)
+	return v, nil
+}
+
+// ReadBit reads one bit.
+func (r *Reader) ReadBit() (bool, error) {
+	v, err := r.ReadBits(1)
+	return v == 1, err
+}
+
+// AppendUvarint appends x to dst in unsigned LEB128 form.
+func AppendUvarint(dst []byte, x uint64) []byte {
+	return binary.AppendUvarint(dst, x)
+}
+
+// AppendVarint appends x to dst in zig-zag signed LEB128 form.
+func AppendVarint(dst []byte, x int64) []byte {
+	return binary.AppendVarint(dst, x)
+}
+
+// Uvarint decodes an unsigned varint from buf, returning the value and the
+// number of bytes consumed, or an error if the buffer is malformed.
+func Uvarint(buf []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, 0, ErrUnexpectedEOF
+	}
+	return v, n, nil
+}
+
+// Varint decodes a signed varint from buf.
+func Varint(buf []byte) (int64, int, error) {
+	v, n := binary.Varint(buf)
+	if n <= 0 {
+		return 0, 0, ErrUnexpectedEOF
+	}
+	return v, n, nil
+}
+
+// AppendBytes appends a length-prefixed byte block to dst.
+func AppendBytes(dst, block []byte) []byte {
+	dst = AppendUvarint(dst, uint64(len(block)))
+	return append(dst, block...)
+}
+
+// Bytes reads a length-prefixed byte block, returning the block and the
+// total bytes consumed.
+func Bytes(buf []byte) ([]byte, int, error) {
+	n, hdr, err := Uvarint(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	if uint64(len(buf)-hdr) < n {
+		return nil, 0, ErrUnexpectedEOF
+	}
+	return buf[hdr : hdr+int(n)], hdr + int(n), nil
+}

@@ -1,0 +1,144 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xdead, 16)
+	w.WriteBit(true)
+	w.WriteBits(0, 5)
+	w.WriteBits(0x1ffffffffffff, 49)
+	buf := w.Bytes()
+
+	r := NewReader(buf)
+	got, err := r.ReadBits(3)
+	if err != nil || got != 0b101 {
+		t.Fatalf("ReadBits(3) = %v, %v; want 0b101", got, err)
+	}
+	if got, _ := r.ReadBits(16); got != 0xdead {
+		t.Fatalf("ReadBits(16) = %#x, want 0xdead", got)
+	}
+	if b, _ := r.ReadBit(); !b {
+		t.Fatal("ReadBit = false, want true")
+	}
+	if got, _ := r.ReadBits(5); got != 0 {
+		t.Fatalf("ReadBits(5) = %v, want 0", got)
+	}
+	if got, _ := r.ReadBits(49); got != 0x1ffffffffffff {
+		t.Fatalf("ReadBits(49) = %#x", got)
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	w := NewWriter()
+	if w.BitLen() != 0 {
+		t.Fatalf("empty writer BitLen = %d", w.BitLen())
+	}
+	w.WriteBits(1, 1)
+	w.WriteBits(0xff, 8)
+	if w.BitLen() != 9 {
+		t.Fatalf("BitLen = %d, want 9", w.BitLen())
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xab})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatalf("first byte: %v", err)
+	}
+	if _, err := r.ReadBits(1); err != ErrUnexpectedEOF {
+		t.Fatalf("past end err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestQuickBitStream(t *testing.T) {
+	// Property: any sequence of (value, width) writes reads back exactly.
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%64) + 1
+		vals := make([]uint64, count)
+		widths := make([]uint, count)
+		w := NewWriter()
+		for i := range vals {
+			widths[i] = uint(rng.Intn(57)) + 1
+			vals[i] = rng.Uint64() & (1<<widths[i] - 1)
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := range vals {
+			got, err := r.ReadBits(widths[i])
+			if err != nil || got != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarintHelpers(t *testing.T) {
+	var buf []byte
+	buf = AppendUvarint(buf, 0)
+	buf = AppendUvarint(buf, 1<<40)
+	buf = AppendVarint(buf, -12345)
+	v, n, err := Uvarint(buf)
+	if err != nil || v != 0 {
+		t.Fatalf("Uvarint = %v, %v", v, err)
+	}
+	buf = buf[n:]
+	v, n, err = Uvarint(buf)
+	if err != nil || v != 1<<40 {
+		t.Fatalf("Uvarint = %v, %v", v, err)
+	}
+	buf = buf[n:]
+	s, _, err := Varint(buf)
+	if err != nil || s != -12345 {
+		t.Fatalf("Varint = %v, %v", s, err)
+	}
+}
+
+func TestVarintEmpty(t *testing.T) {
+	if _, _, err := Uvarint(nil); err == nil {
+		t.Fatal("Uvarint(nil) should error")
+	}
+	if _, _, err := Varint(nil); err == nil {
+		t.Fatal("Varint(nil) should error")
+	}
+}
+
+func TestLengthPrefixedBytes(t *testing.T) {
+	var buf []byte
+	buf = AppendBytes(buf, []byte("hello"))
+	buf = AppendBytes(buf, nil)
+	buf = AppendBytes(buf, []byte{1, 2, 3})
+
+	blk, n, err := Bytes(buf)
+	if err != nil || string(blk) != "hello" {
+		t.Fatalf("Bytes #1 = %q, %v", blk, err)
+	}
+	buf = buf[n:]
+	blk, n, err = Bytes(buf)
+	if err != nil || len(blk) != 0 {
+		t.Fatalf("Bytes #2 = %q, %v", blk, err)
+	}
+	buf = buf[n:]
+	blk, _, err = Bytes(buf)
+	if err != nil || len(blk) != 3 {
+		t.Fatalf("Bytes #3 = %v, %v", blk, err)
+	}
+}
+
+func TestBytesTruncated(t *testing.T) {
+	var buf []byte
+	buf = AppendBytes(buf, []byte("hello"))
+	if _, _, err := Bytes(buf[:3]); err == nil {
+		t.Fatal("truncated block should error")
+	}
+}

@@ -1,0 +1,325 @@
+// Package codec defines the common interface all AMR compressors in this
+// repository implement — TAC and the paper's three baselines — plus the
+// shared container format that carries the dataset skeleton (level
+// geometry and occupancy masks) alongside codec-specific payloads.
+//
+// Because every strategy's extraction is a pure function of the occupancy
+// mask, storing the (deflated, bit-packed) masks in the container is all
+// the metadata any codec needs; coordinates of sub-blocks are never
+// serialized. The mask costs one bit per unit block, the "negligible
+// (e.g., 0.1%) metadata overhead" of Sec. 3.1.
+package codec
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+
+	"repro/internal/amr"
+	"repro/internal/grid"
+	"repro/internal/preprocess"
+	"repro/internal/sz"
+
+	"repro/internal/bitio"
+)
+
+// Strategy selects a per-level pre-process strategy for TAC.
+type Strategy uint8
+
+// The strategies of Sec. 3, plus Auto (density-based hybrid selection) and
+// the diagnostic ZF/NaST/Classic variants used in ablations.
+const (
+	Auto Strategy = iota
+	ZF
+	NaST
+	OpST
+	AKD
+	GSP
+	ClassicKD // fixed-cycle k-d tree; ablation for AKD's adaptive split
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case ZF:
+		return "ZF"
+	case NaST:
+		return "NaST"
+	case OpST:
+		return "OpST"
+	case AKD:
+		return "AKDTree"
+	case GSP:
+		return "GSP"
+	case ClassicKD:
+		return "ClassicKD"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// Config carries the compression parameters shared by all codecs.
+type Config struct {
+	// ErrorBound with Mode selects the base error bound.
+	ErrorBound float64
+	// Mode is absolute or value-range-relative (per level).
+	Mode sz.Mode
+	// QuantBits forwards to sz.Options (0 = default 16).
+	QuantBits int
+	// LevelScales optionally multiplies the error bound per level, fine to
+	// coarse — the adaptive error bound of Sec. 4.5 (e.g. {3,1} for the
+	// 3:1 power-spectrum tuning). nil or missing entries mean 1.
+	LevelScales []float64
+	// Strategy forces a pre-process strategy for every level; Auto applies
+	// the density filter with thresholds T1/T2.
+	Strategy Strategy
+	// T1 and T2 are the density thresholds of Sec. 3.4 (0 = defaults 0.50
+	// and 0.60).
+	T1, T2 float64
+	// AdaptiveBaseline enables the Sec. 4.4 outer switch: when the finest
+	// level's density is at least T2, hand the whole dataset to the 3D
+	// baseline instead of level-wise TAC.
+	AdaptiveBaseline bool
+	// GSP tunes ghost-shell padding.
+	GSP preprocess.GSPOptions
+	// Workers > 1 compresses the sub-block batches of each level in
+	// parallel (payloads stay byte-identical to the serial path); ≤ 1 is
+	// serial. -1 uses all CPUs.
+	Workers int
+}
+
+// WithDefaults fills in zero-valued thresholds.
+func (c Config) WithDefaults() Config {
+	if c.T1 == 0 {
+		c.T1 = 0.50
+	}
+	if c.T2 == 0 {
+		c.T2 = 0.60
+	}
+	return c
+}
+
+// LevelScale returns the error-bound multiplier for level li.
+func (c Config) LevelScale(li int) float64 {
+	if li < len(c.LevelScales) && c.LevelScales[li] > 0 {
+		return c.LevelScales[li]
+	}
+	return 1
+}
+
+// LevelEB resolves the absolute error bound for one level, converting
+// relative bounds against the range of the level's stored values.
+func (c Config) LevelEB(li int, l *amr.Level) float64 {
+	eb := c.ErrorBound * c.LevelScale(li)
+	if c.Mode == sz.Rel {
+		lo, hi := maskedRange(l)
+		if r := hi - lo; r > 0 {
+			eb *= r
+		}
+	}
+	return eb
+}
+
+func maskedRange(l *amr.Level) (lo, hi float64) {
+	first := true
+	md := l.Mask.Dim
+	for bx := 0; bx < md.X; bx++ {
+		for by := 0; by < md.Y; by++ {
+			for bz := 0; bz < md.Z; bz++ {
+				if !l.Mask.At(bx, by, bz) {
+					continue
+				}
+				r := l.BlockRegion(bx, by, bz)
+				for x := r.X0; x < r.X1; x++ {
+					for y := r.Y0; y < r.Y1; y++ {
+						base := l.Grid.Dim.Index(x, y, r.Z0)
+						for _, v := range l.Grid.Data[base : base+(r.Z1-r.Z0)] {
+							f := float64(v)
+							if first {
+								lo, hi = f, f
+								first = false
+								continue
+							}
+							if f < lo {
+								lo = f
+							}
+							if f > hi {
+								hi = f
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return lo, hi
+}
+
+// Codec compresses and decompresses whole AMR datasets.
+type Codec interface {
+	// Name identifies the codec in experiment output ("TAC", "1D",
+	// "zMesh", "3D").
+	Name() string
+	// Compress produces a self-contained payload.
+	Compress(ds *amr.Dataset, cfg Config) ([]byte, error)
+	// Decompress reconstructs the dataset (values within error bound,
+	// identical structure).
+	Decompress(blob []byte) (*amr.Dataset, error)
+}
+
+const containerMagic = 0x54414343 // "TACC"
+
+// Skeleton is the structural part of a dataset: everything except values.
+type Skeleton struct {
+	Name   string
+	Field  string
+	Ratio  int
+	Levels []LevelInfo
+}
+
+// LevelInfo is one level's geometry plus occupancy.
+type LevelInfo struct {
+	Dims      grid.Dims
+	UnitBlock int
+	Mask      *grid.Mask
+}
+
+// SkeletonOf extracts the skeleton from a dataset (masks are shared, not
+// copied).
+func SkeletonOf(ds *amr.Dataset) Skeleton {
+	sk := Skeleton{Name: ds.Name, Field: ds.Field, Ratio: ds.Ratio}
+	for _, l := range ds.Levels {
+		sk.Levels = append(sk.Levels, LevelInfo{Dims: l.Grid.Dim, UnitBlock: l.UnitBlock, Mask: l.Mask})
+	}
+	return sk
+}
+
+// NewDataset materializes an empty dataset (zero grids, masks cloned) from
+// the skeleton.
+func (sk Skeleton) NewDataset() *amr.Dataset {
+	ds := &amr.Dataset{Name: sk.Name, Field: sk.Field, Ratio: sk.Ratio}
+	for _, li := range sk.Levels {
+		l := amr.NewLevel(li.Dims, li.UnitBlock)
+		copy(l.Mask.Bits, li.Mask.Bits)
+		ds.Levels = append(ds.Levels, l)
+	}
+	return ds
+}
+
+// EncodeContainer assembles a payload: codec id, skeleton, then the
+// codec-specific body.
+func EncodeContainer(codecID byte, sk Skeleton, body []byte) ([]byte, error) {
+	var out []byte
+	out = bitio.AppendUvarint(out, containerMagic)
+	out = append(out, codecID)
+	out = bitio.AppendBytes(out, []byte(sk.Name))
+	out = bitio.AppendBytes(out, []byte(sk.Field))
+	out = bitio.AppendUvarint(out, uint64(sk.Ratio))
+	out = bitio.AppendUvarint(out, uint64(len(sk.Levels)))
+	for _, li := range sk.Levels {
+		out = bitio.AppendUvarint(out, uint64(li.Dims.X))
+		out = bitio.AppendUvarint(out, uint64(li.Dims.Y))
+		out = bitio.AppendUvarint(out, uint64(li.Dims.Z))
+		out = bitio.AppendUvarint(out, uint64(li.UnitBlock))
+		packed := make([]byte, (len(li.Mask.Bits)+7)/8)
+		for i, b := range li.Mask.Bits {
+			if b {
+				packed[i/8] |= 1 << (i % 8)
+			}
+		}
+		var buf bytes.Buffer
+		fw, err := flate.NewWriter(&buf, flate.BestCompression)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fw.Write(packed); err != nil {
+			return nil, err
+		}
+		if err := fw.Close(); err != nil {
+			return nil, err
+		}
+		out = bitio.AppendBytes(out, buf.Bytes())
+	}
+	return append(out, body...), nil
+}
+
+// DecodeContainer parses a payload, verifying the codec id, and returns
+// the skeleton and the codec-specific body.
+func DecodeContainer(blob []byte, wantCodecID byte) (Skeleton, []byte, error) {
+	var sk Skeleton
+	m, n, err := bitio.Uvarint(blob)
+	if err != nil || m != containerMagic {
+		return sk, nil, fmt.Errorf("codec: bad container magic")
+	}
+	blob = blob[n:]
+	if len(blob) == 0 {
+		return sk, nil, fmt.Errorf("codec: truncated container")
+	}
+	if blob[0] != wantCodecID {
+		return sk, nil, fmt.Errorf("codec: payload written by codec %d, not %d", blob[0], wantCodecID)
+	}
+	blob = blob[1:]
+	nameB, n, err := bitio.Bytes(blob)
+	if err != nil {
+		return sk, nil, err
+	}
+	sk.Name = string(nameB)
+	blob = blob[n:]
+	fieldB, n, err := bitio.Bytes(blob)
+	if err != nil {
+		return sk, nil, err
+	}
+	sk.Field = string(fieldB)
+	blob = blob[n:]
+	ratio, n, err := bitio.Uvarint(blob)
+	if err != nil {
+		return sk, nil, err
+	}
+	sk.Ratio = int(ratio)
+	blob = blob[n:]
+	nlev, n, err := bitio.Uvarint(blob)
+	if err != nil {
+		return sk, nil, err
+	}
+	blob = blob[n:]
+	if nlev == 0 || nlev > 64 {
+		return sk, nil, fmt.Errorf("codec: implausible level count %d", nlev)
+	}
+	for i := uint64(0); i < nlev; i++ {
+		var li LevelInfo
+		for _, p := range []*int{&li.Dims.X, &li.Dims.Y, &li.Dims.Z, &li.UnitBlock} {
+			v, n, err := bitio.Uvarint(blob)
+			if err != nil {
+				return sk, nil, err
+			}
+			*p = int(v)
+			blob = blob[n:]
+		}
+		if li.UnitBlock <= 0 || li.Dims.Count() <= 0 {
+			return sk, nil, fmt.Errorf("codec: corrupt level %d geometry", i)
+		}
+		comp, n, err := bitio.Bytes(blob)
+		if err != nil {
+			return sk, nil, err
+		}
+		blob = blob[n:]
+		fr := flate.NewReader(bytes.NewReader(comp))
+		packed, err := io.ReadAll(fr)
+		fr.Close()
+		if err != nil {
+			return sk, nil, fmt.Errorf("codec: level %d mask: %w", i, err)
+		}
+		li.Mask = grid.NewMask(li.Dims.Div(li.UnitBlock))
+		if len(packed) != (len(li.Mask.Bits)+7)/8 {
+			return sk, nil, fmt.Errorf("codec: level %d mask is %d bytes, want %d", i, len(packed), (len(li.Mask.Bits)+7)/8)
+		}
+		for j := range li.Mask.Bits {
+			li.Mask.Bits[j] = packed[j/8]&(1<<(j%8)) != 0
+		}
+		sk.Levels = append(sk.Levels, li)
+	}
+	return sk, blob, nil
+}

@@ -1,0 +1,155 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/amr"
+	"repro/internal/grid"
+	"repro/internal/sz"
+)
+
+func testSkeletonDataset() *amr.Dataset {
+	fine := amr.NewLevel(grid.Dims{X: 8, Y: 8, Z: 8}, 4)
+	coarse := amr.NewLevel(grid.Dims{X: 4, Y: 4, Z: 4}, 4)
+	fine.Mask.Set(0, 0, 0, true)
+	fine.Mask.Set(1, 1, 1, true)
+	coarse.Mask.Set(0, 0, 0, true)
+	rng := rand.New(rand.NewSource(3))
+	for i := range fine.Grid.Data {
+		fine.Grid.Data[i] = float32(rng.NormFloat64())
+	}
+	return &amr.Dataset{Name: "sk", Field: "baryon_density", Ratio: 2, Levels: []*amr.Level{fine, coarse}}
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	ds := testSkeletonDataset()
+	sk := SkeletonOf(ds)
+	body := []byte{1, 2, 3, 4, 5}
+	blob, err := EncodeContainer(9, sk, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotBody, err := DecodeContainer(blob, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "sk" || got.Field != "baryon_density" || got.Ratio != 2 {
+		t.Fatalf("header: %+v", got)
+	}
+	if len(got.Levels) != 2 {
+		t.Fatalf("levels: %d", len(got.Levels))
+	}
+	for li := range sk.Levels {
+		if got.Levels[li].Dims != sk.Levels[li].Dims || got.Levels[li].UnitBlock != sk.Levels[li].UnitBlock {
+			t.Fatalf("level %d geometry mismatch", li)
+		}
+		for i := range sk.Levels[li].Mask.Bits {
+			if got.Levels[li].Mask.Bits[i] != sk.Levels[li].Mask.Bits[i] {
+				t.Fatalf("level %d mask bit %d mismatch", li, i)
+			}
+		}
+	}
+	if string(gotBody) != string(body) {
+		t.Fatalf("body: %v", gotBody)
+	}
+}
+
+func TestContainerRejectsWrongCodec(t *testing.T) {
+	sk := SkeletonOf(testSkeletonDataset())
+	blob, err := EncodeContainer(9, sk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeContainer(blob, 8); err == nil {
+		t.Fatal("wrong codec id should be rejected")
+	}
+	if _, _, err := DecodeContainer(nil, 9); err == nil {
+		t.Fatal("nil blob should be rejected")
+	}
+	if _, _, err := DecodeContainer(blob[:4], 9); err == nil {
+		t.Fatal("truncated blob should be rejected")
+	}
+}
+
+func TestSkeletonNewDataset(t *testing.T) {
+	ds := testSkeletonDataset()
+	sk := SkeletonOf(ds)
+	fresh := sk.NewDataset()
+	if fresh.StoredCells() != ds.StoredCells() {
+		t.Fatalf("stored cells %d vs %d", fresh.StoredCells(), ds.StoredCells())
+	}
+	for _, l := range fresh.Levels {
+		for _, v := range l.Grid.Data {
+			if v != 0 {
+				t.Fatal("fresh dataset grids must be zero")
+			}
+		}
+	}
+	// Masks are copies, not aliases.
+	fresh.Levels[0].Mask.Set(0, 0, 0, false)
+	if !ds.Levels[0].Mask.At(0, 0, 0) {
+		t.Fatal("NewDataset aliases the skeleton masks")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.WithDefaults()
+	if cfg.T1 != 0.50 || cfg.T2 != 0.60 {
+		t.Fatalf("defaults: T1=%v T2=%v", cfg.T1, cfg.T2)
+	}
+	custom := Config{T1: 0.3, T2: 0.9}.WithDefaults()
+	if custom.T1 != 0.3 || custom.T2 != 0.9 {
+		t.Fatal("explicit thresholds overridden")
+	}
+}
+
+func TestConfigLevelScale(t *testing.T) {
+	cfg := Config{LevelScales: []float64{3, 1}}
+	if cfg.LevelScale(0) != 3 || cfg.LevelScale(1) != 1 || cfg.LevelScale(2) != 1 {
+		t.Fatalf("scales: %v %v %v", cfg.LevelScale(0), cfg.LevelScale(1), cfg.LevelScale(2))
+	}
+	if (Config{}).LevelScale(0) != 1 {
+		t.Fatal("missing scales should default to 1")
+	}
+}
+
+func TestConfigLevelEB(t *testing.T) {
+	ds := testSkeletonDataset()
+	abs := Config{ErrorBound: 5}
+	if got := abs.LevelEB(0, ds.Levels[0]); got != 5 {
+		t.Fatalf("abs LevelEB = %v", got)
+	}
+	scaled := Config{ErrorBound: 5, LevelScales: []float64{2, 1}}
+	if got := scaled.LevelEB(0, ds.Levels[0]); got != 10 {
+		t.Fatalf("scaled LevelEB = %v", got)
+	}
+	// Rel mode multiplies by the masked range.
+	rel := Config{ErrorBound: 0.1, Mode: sz.Rel}
+	vals := ds.Levels[0].MaskedValues(nil)
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	want := 0.1 * (float64(hi) - float64(lo))
+	if got := rel.LevelEB(0, ds.Levels[0]); got < want*0.999 || got > want*1.001 {
+		t.Fatalf("rel LevelEB = %v, want %v", got, want)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	names := map[Strategy]string{
+		Auto: "auto", ZF: "ZF", NaST: "NaST", OpST: "OpST",
+		AKD: "AKDTree", GSP: "GSP", ClassicKD: "ClassicKD",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package core implements TAC, the paper's primary contribution: level-wise
+// 3D error-bounded lossy compression of tree-structured AMR data with a
+// density-driven hybrid of three pre-process strategies (Sec. 3):
+//
+//   - density < T1 (50%): OpST — optimized sparse-tensor extraction of
+//     maximal non-empty cubes (Algorithm 1);
+//   - T1 ≤ density < T2 (60%): AKDTree — adaptive k-d tree extraction
+//     (Algorithm 2);
+//   - density ≥ T2: GSP — ghost-shell padding of the few empty blocks
+//     (Algorithm 3), compressing the whole level grid.
+//
+// Extracted sub-blocks of equal shape are merged into one multi-block SZ
+// stream (the paper's "4D arrays"). Per-level error bounds support the
+// adaptive tuning of Sec. 4.5, and the optional Sec. 4.4 outer switch hands
+// the entire dataset to the 3D baseline when the finest level is dense.
+//
+// Every extraction is a pure function of the occupancy mask, which the
+// container stores; decompression replays it, so no coordinates are
+// serialized.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/amr"
+	"repro/internal/baseline"
+	"repro/internal/bitio"
+	"repro/internal/codec"
+	"repro/internal/grid"
+	"repro/internal/kdtree"
+	"repro/internal/preprocess"
+	"repro/internal/sz"
+)
+
+// ID is TAC's codec identifier in the shared container format.
+const ID = 1
+
+// TAC is the hybrid level-wise 3D AMR codec. The zero value is ready to
+// use; configuration travels in codec.Config.
+type TAC struct{}
+
+// Name implements codec.Codec.
+func (TAC) Name() string { return "TAC" }
+
+// PickStrategy applies the density filter of Sec. 3.4.
+func PickStrategy(density float64, cfg codec.Config) codec.Strategy {
+	cfg = cfg.WithDefaults()
+	if cfg.Strategy != codec.Auto {
+		return cfg.Strategy
+	}
+	switch {
+	case density < cfg.T1:
+		return codec.OpST
+	case density < cfg.T2:
+		return codec.AKD
+	default:
+		return codec.GSP
+	}
+}
+
+// Compress implements codec.Codec.
+func (t TAC) Compress(ds *amr.Dataset, cfg codec.Config) ([]byte, error) {
+	cfg = cfg.WithDefaults()
+	if cfg.AdaptiveBaseline && ds.Levels[0].Density() >= cfg.T2 {
+		// Sec. 4.4: a dense finest level means the dataset is close to
+		// uniform resolution; the 3D baseline then wins on smoothness and
+		// redundancy is negligible.
+		return baseline.Uniform3D{}.Compress(ds, cfg)
+	}
+	var body []byte
+	for li, l := range ds.Levels {
+		st := PickStrategy(l.Density(), cfg)
+		sec, err := CompressLevel(l, st, cfg.LevelEB(li, l), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: level %d (%s): %w", li, st, err)
+		}
+		body = bitio.AppendBytes(body, sec)
+	}
+	return codec.EncodeContainer(ID, codec.SkeletonOf(ds), body)
+}
+
+// Decompress implements codec.Codec. It transparently handles payloads the
+// AdaptiveBaseline switch routed to the 3D baseline.
+func (t TAC) Decompress(blob []byte) (*amr.Dataset, error) {
+	if _, _, err := codec.DecodeContainer(blob, baseline.IDUniform3D); err == nil {
+		return baseline.Uniform3D{}.Decompress(blob)
+	}
+	sk, body, err := codec.DecodeContainer(blob, ID)
+	if err != nil {
+		return nil, err
+	}
+	ds := sk.NewDataset()
+	for li, l := range ds.Levels {
+		sec, n, err := bitio.Bytes(body)
+		if err != nil {
+			return nil, fmt.Errorf("core: level %d section: %w", li, err)
+		}
+		body = body[n:]
+		if err := DecompressLevel(l, sec); err != nil {
+			return nil, fmt.Errorf("core: level %d: %w", li, err)
+		}
+	}
+	return ds, nil
+}
+
+// extract runs the chosen sparse extraction over the mask.
+func extract(st codec.Strategy, mask *grid.Mask) ([]kdtree.Box, error) {
+	switch st {
+	case codec.NaST:
+		return preprocess.NaST(mask), nil
+	case codec.OpST:
+		return preprocess.OpST(mask), nil
+	case codec.AKD:
+		boxes, _ := kdtree.Adaptive(mask)
+		return boxes, nil
+	case codec.ClassicKD:
+		boxes, _ := kdtree.Classic(mask)
+		return boxes, nil
+	default:
+		return nil, fmt.Errorf("core: strategy %s is not a sparse extraction", st)
+	}
+}
+
+// CompressLevel compresses one AMR level with an explicit strategy and
+// absolute error bound. It is the unit the Fig. 7/11/12 experiments
+// measure; TAC.Compress calls it per level.
+func CompressLevel(l *amr.Level, st codec.Strategy, eb float64, cfg codec.Config) ([]byte, error) {
+	var out []byte
+	out = append(out, byte(st))
+	opts := sz.Options{ErrorBound: eb, QuantBits: cfg.QuantBits}
+	switch st {
+	case codec.ZF, codec.GSP:
+		g := l.Grid.Clone()
+		preprocess.ZeroUnmasked(g, l.Mask, l.UnitBlock)
+		if st == codec.GSP {
+			preprocess.GSP(g, l.Mask, l.UnitBlock, cfg.GSP)
+		}
+		blob, _, err := sz.Compress3D(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		return bitio.AppendBytes(out, blob), nil
+	case codec.NaST, codec.OpST, codec.AKD, codec.ClassicKD:
+		boxes, err := extract(st, l.Mask)
+		if err != nil {
+			return nil, err
+		}
+		groups := preprocess.GroupBoxes(boxes)
+		out = bitio.AppendUvarint(out, uint64(len(groups)))
+		for _, grp := range groups {
+			grids := preprocess.Gather(l.Grid, grp.Boxes, l.UnitBlock)
+			var blob []byte
+			var err error
+			if cfg.Workers > 1 || cfg.Workers == -1 {
+				blob, _, err = sz.CompressBlocksParallel(grids, opts, cfg.Workers)
+			} else {
+				blob, _, err = sz.CompressBlocks(grids, opts)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("group %v: %w", grp.Shape, err)
+			}
+			out = bitio.AppendBytes(out, blob)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("core: cannot compress with strategy %s", st)
+	}
+}
+
+// DecompressLevel inverts CompressLevel, filling l.Grid (unmasked blocks
+// are zero).
+func DecompressLevel(l *amr.Level, sec []byte) error {
+	if len(sec) == 0 {
+		return fmt.Errorf("core: empty level section")
+	}
+	st := codec.Strategy(sec[0])
+	sec = sec[1:]
+	switch st {
+	case codec.ZF, codec.GSP:
+		blob, _, err := bitio.Bytes(sec)
+		if err != nil {
+			return err
+		}
+		g, err := sz.Decompress3D[amr.Value](blob)
+		if err != nil {
+			return err
+		}
+		if g.Dim != l.Grid.Dim {
+			return fmt.Errorf("core: level grid %v, want %v", g.Dim, l.Grid.Dim)
+		}
+		if st == codec.GSP {
+			// The padding positions are implied by the mask, so padded
+			// cells are restored to exact zeros — the "saved padding
+			// information" of Algorithm 3 with no explicit metadata.
+			preprocess.ZeroUnmasked(g, l.Mask, l.UnitBlock)
+		}
+		// ZF is the naive strawman of Sec. 3.1: it ships no knowledge of
+		// the empty regions, so their reconstructed near-zero noise stays.
+		copy(l.Grid.Data, g.Data)
+		return nil
+	case codec.NaST, codec.OpST, codec.AKD, codec.ClassicKD:
+		boxes, err := extract(st, l.Mask)
+		if err != nil {
+			return err
+		}
+		groups := preprocess.GroupBoxes(boxes)
+		ngroups, n, err := bitio.Uvarint(sec)
+		if err != nil {
+			return err
+		}
+		sec = sec[n:]
+		if int(ngroups) != len(groups) {
+			return fmt.Errorf("core: payload has %d groups, mask implies %d", ngroups, len(groups))
+		}
+		for _, grp := range groups {
+			blob, n, err := bitio.Bytes(sec)
+			if err != nil {
+				return fmt.Errorf("group %v: %w", grp.Shape, err)
+			}
+			sec = sec[n:]
+			grids, err := sz.DecompressBlocks[amr.Value](blob)
+			if err != nil {
+				return fmt.Errorf("group %v: %w", grp.Shape, err)
+			}
+			if err := preprocess.Scatter(l.Grid, grp.Boxes, l.UnitBlock, grids); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: unknown strategy byte %d", st)
+	}
+}
+
+var _ codec.Codec = TAC{}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/codec"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// TestCorruptionNeverPanics flips random bytes of a valid TAC payload and
+// requires Decompress to either error or return a structurally valid
+// dataset — never panic. This guards every parser layer (container,
+// sections, SZ payloads, Huffman, flate).
+func TestCorruptionNeverPanics(t *testing.T) {
+	ds := testDataset(t, 0.3, 20)
+	blob, err := TAC{}.Compress(ds, codec.Config{ErrorBound: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		mut := append([]byte(nil), blob...)
+		flips := rng.Intn(4) + 1
+		for f := 0; f < flips; f++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: Decompress panicked: %v", trial, r)
+				}
+			}()
+			got, err := TAC{}.Decompress(mut)
+			if err == nil && got != nil {
+				// A lucky mutation may still parse (e.g. flipped value
+				// bits); the structure must remain coherent.
+				if len(got.Levels) != len(ds.Levels) {
+					t.Fatalf("trial %d: silent structural corruption", trial)
+				}
+			}
+		}()
+	}
+}
+
+// TestTruncationNeverPanics truncates a payload at every length and
+// requires a clean error.
+func TestTruncationNeverPanics(t *testing.T) {
+	ds := testDataset(t, 0.3, 21)
+	blob, err := TAC{}.Compress(ds, codec.Config{ErrorBound: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(blob)/97 + 1 // sample lengths; all of them is slow
+	for cut := 0; cut < len(blob); cut += step {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("cut %d: panic: %v", cut, r)
+				}
+			}()
+			if _, err := (TAC{}).Decompress(blob[:cut]); err == nil {
+				t.Fatalf("cut %d decoded successfully", cut)
+			}
+		}()
+	}
+}
+
+// TestQuickPipelineProperty: for random two-level datasets and random
+// bounds, the full TAC pipeline round-trips within bound with a sane
+// compression ratio.
+func TestQuickPipelineProperty(t *testing.T) {
+	f := func(seed int64, fineFrac, ebExp uint8) bool {
+		frac := 0.05 + float64(fineFrac%80)/100 // 5%..84%
+		ds, err := sim.Generate(sim.Spec{
+			Name: "q", FinestN: 16, Levels: 2, UnitBlock: 2, Seed: seed,
+			LeafFractions: []float64{frac, 1 - frac},
+		}, sim.BaryonDensity)
+		if err != nil {
+			return false
+		}
+		eb := 1e8 * float64(uint64(1)<<(ebExp%10)) // 1e8 .. ~5e10
+		blob, err := TAC{}.Compress(ds, codec.Config{ErrorBound: eb})
+		if err != nil {
+			return false
+		}
+		got, err := TAC{}.Decompress(blob)
+		if err != nil {
+			return false
+		}
+		dist, err := metrics.DatasetDistortion(ds, got)
+		if err != nil {
+			return false
+		}
+		return dist.MaxErr <= eb*(1+1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterministicPayload: compressing the same dataset twice yields
+// identical bytes (required for the mask-replay decompression scheme and
+// for reproducible experiments).
+func TestDeterministicPayload(t *testing.T) {
+	ds := testDataset(t, 0.4, 22)
+	for _, cfg := range []codec.Config{
+		{ErrorBound: 1e9},
+		{ErrorBound: 1e9, Strategy: codec.GSP},
+		{ErrorBound: 1e9, LevelScales: []float64{3, 1}},
+	} {
+		a, err := TAC{}.Compress(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := TAC{}.Compress(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("cfg %+v: payload lengths differ", cfg)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("cfg %+v: payloads differ at byte %d", cfg, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/amr"
+	"repro/internal/baseline"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Codecs returns the four compared codecs in the paper's ordering.
+func Codecs() []codec.Codec {
+	return []codec.Codec{core.TAC{}, baseline.Naive1D{}, baseline.ZMesh{}, baseline.Uniform3D{}}
+}
+
+// RunCodec compresses and decompresses one dataset with one codec,
+// returning the rate-distortion point and the timings.
+func RunCodec(c codec.Codec, ds *amr.Dataset, cfg codec.Config) (metrics.RatePoint, time.Duration, time.Duration, error) {
+	t0 := time.Now()
+	blob, err := c.Compress(ds, cfg)
+	if err != nil {
+		return metrics.RatePoint{}, 0, 0, fmt.Errorf("%s compress: %w", c.Name(), err)
+	}
+	ct := time.Since(t0)
+	t0 = time.Now()
+	recon, err := c.Decompress(blob)
+	if err != nil {
+		return metrics.RatePoint{}, 0, 0, fmt.Errorf("%s decompress: %w", c.Name(), err)
+	}
+	dt := time.Since(t0)
+	dist, err := metrics.DatasetDistortion(ds, recon)
+	if err != nil {
+		return metrics.RatePoint{}, 0, 0, err
+	}
+	p := metrics.RatePoint{
+		ErrorBound: cfg.ErrorBound,
+		BitRate:    metrics.BitRate(len(blob), ds.StoredCells()),
+		PSNR:       dist.PSNR(),
+		Ratio:      metrics.CompressionRatio(ds.OriginalBytes(), len(blob)),
+	}
+	return p, ct, dt, nil
+}
+
+// rateDistortion prints a TAC-vs-baselines sweep for the named datasets —
+// the body of Figs. 14 and 15.
+func rateDistortion(w io.Writer, env *Env, title string, names []string) error {
+	fprintf(w, "%s\n", title)
+	for _, name := range names {
+		ds, err := env.Dataset(name, sim.BaryonDensity)
+		if err != nil {
+			return err
+		}
+		fprintf(w, "-- %s (finest density %s)\n", name, pct(ds.Densities()[0]))
+		fprintf(w, "%-10s", "eb")
+		for _, c := range Codecs() {
+			fprintf(w, " %16s", c.Name()+" br/psnr")
+		}
+		fprintf(w, "\n")
+		for _, eb := range ebSweep() {
+			fprintf(w, "%-10.1g", eb)
+			for _, c := range Codecs() {
+				p, _, _, err := RunCodec(c, ds, codec.Config{ErrorBound: eb})
+				if err != nil {
+					return err
+				}
+				fprintf(w, "    %6.3f/%-6.1f", p.BitRate, p.PSNR)
+			}
+			fprintf(w, "\n")
+		}
+	}
+	return nil
+}
+
+// Fig14 sweeps rate-distortion on the four Run1 datasets (finest densities
+// 23–64%). Expected shape: TAC dominates the 1D baseline and zMesh
+// everywhere; the 3D baseline is competitive (slightly ahead at low
+// bit-rates) once the finest level is dense.
+func Fig14(w io.Writer, env *Env) error {
+	return rateDistortion(w, env, "Fig 14: rate-distortion, TAC vs baselines (Run1)",
+		[]string{"Run1_Z10", "Run1_Z5", "Run1_Z3", "Run1_Z2"})
+}
+
+// Fig15 sweeps rate-distortion on the three Run2 datasets (finest densities
+// 0.2%–3e-5). Expected shape: TAC far ahead of the 3D baseline, whose
+// up-sampled redundancy explodes at these sparsities.
+func Fig15(w io.Writer, env *Env) error {
+	return rateDistortion(w, env, "Fig 15: rate-distortion, TAC vs baselines (Run2)",
+		[]string{"Run2_T2", "Run2_T3", "Run2_T4"})
+}
+
+// Fig18 prints bit-rate as a function of the absolute error bound for
+// Run1_Z2's fine and coarse levels, compressed level-wise with TAC's
+// density-chosen strategy. Expected shape: the two curves converge and
+// flatten as the bound grows — the motivation for tuning per-level bounds.
+func Fig18(w io.Writer, env *Env) error {
+	ds, err := env.Dataset("Run1_Z2", sim.BaryonDensity)
+	if err != nil {
+		return err
+	}
+	fprintf(w, "Fig 18: bit-rate vs error bound, Run1_Z2 fine and coarse levels\n")
+	fprintf(w, "%-10s %-12s %-12s\n", "eb", "fine br", "coarse br")
+	cfg := codec.Config{}.WithDefaults()
+	for _, eb := range []float64{1e8, 3e8, 1e9, 3e9, 1e10, 3e10, 1e11, 3e11} {
+		var brs [2]float64
+		for li, l := range ds.Levels {
+			st := core.PickStrategy(l.Density(), cfg)
+			res, err := RunLevel(l, st, eb)
+			if err != nil {
+				return err
+			}
+			brs[li] = res.BitRate
+		}
+		fprintf(w, "%-10.1g %-12.3f %-12.3f\n", eb, brs[0], brs[1])
+	}
+	return nil
+}
+
+// MatchRatio binary-searches the error bound that brings codec c's
+// compression ratio on ds within tol (relative) of target. It returns the
+// bound and the achieved ratio. Used by Fig. 19 and Table 3, which compare
+// methods "under the (almost) same compression ratio".
+func MatchRatio(c codec.Codec, ds *amr.Dataset, base codec.Config, target, tol float64, maxIter int) (float64, float64, error) {
+	lo, hi := 1e5, 1e13
+	var eb, got float64
+	for i := 0; i < maxIter; i++ {
+		eb = sqrtGeo(lo, hi)
+		cfg := base
+		cfg.ErrorBound = eb
+		blob, err := c.Compress(ds, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		got = metrics.CompressionRatio(ds.OriginalBytes(), len(blob))
+		if got > target*(1+tol) {
+			hi = eb // too much compression: tighten the bound
+		} else if got < target*(1-tol) {
+			lo = eb
+		} else {
+			return eb, got, nil
+		}
+	}
+	return eb, got, nil
+}
+
+// sqrtGeo is the geometric mean, the midpoint of a log-space search.
+func sqrtGeo(a, b float64) float64 { return math.Sqrt(a * b) }

@@ -1,0 +1,314 @@
+// Package grid provides dense 3D tensors and the block-level geometry
+// helpers used throughout the TAC pipeline: sub-grid extraction, coarse/fine
+// resampling, and 3D summed-area tables for O(1) occupancy queries.
+//
+// Grids are stored in row-major order with z varying fastest, i.e. the
+// linear index of cell (x, y, z) on an (Nx, Ny, Nz) grid is
+// (x*Ny+y)*Nz + z. This matches the memory layout the SZ-style compressor
+// assumes for its 3D Lorenzo predictor.
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Float is the element constraint for grids: the single- and
+// double-precision floating point types scientific datasets use.
+type Float interface {
+	~float32 | ~float64
+}
+
+// Dims describes the extent of a 3D grid.
+type Dims struct {
+	X, Y, Z int
+}
+
+// Count returns the total number of cells, X*Y*Z.
+func (d Dims) Count() int { return d.X * d.Y * d.Z }
+
+// String implements fmt.Stringer.
+func (d Dims) String() string { return fmt.Sprintf("%dx%dx%d", d.X, d.Y, d.Z) }
+
+// IsCube reports whether all three extents are equal.
+func (d Dims) IsCube() bool { return d.X == d.Y && d.Y == d.Z }
+
+// Scale returns the dims multiplied by factor f in every dimension.
+func (d Dims) Scale(f int) Dims { return Dims{d.X * f, d.Y * f, d.Z * f} }
+
+// Div returns the dims divided by factor f in every dimension, rounding up.
+func (d Dims) Div(f int) Dims {
+	return Dims{ceilDiv(d.X, f), ceilDiv(d.Y, f), ceilDiv(d.Z, f)}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Contains reports whether cell (x,y,z) lies inside the grid extent.
+func (d Dims) Contains(x, y, z int) bool {
+	return x >= 0 && x < d.X && y >= 0 && y < d.Y && z >= 0 && z < d.Z
+}
+
+// Index returns the linear index of cell (x,y,z).
+func (d Dims) Index(x, y, z int) int { return (x*d.Y+y)*d.Z + z }
+
+// Coords is the inverse of Index.
+func (d Dims) Coords(i int) (x, y, z int) {
+	z = i % d.Z
+	i /= d.Z
+	y = i % d.Y
+	x = i / d.Y
+	return
+}
+
+// Grid3 is a dense 3D tensor of floating point values.
+type Grid3[T Float] struct {
+	Dim  Dims
+	Data []T // len == Dim.Count(), layout (x*Ny+y)*Nz+z
+}
+
+// New allocates a zeroed grid with the given dims.
+func New[T Float](d Dims) *Grid3[T] {
+	return &Grid3[T]{Dim: d, Data: make([]T, d.Count())}
+}
+
+// NewCube allocates a zeroed n×n×n grid.
+func NewCube[T Float](n int) *Grid3[T] { return New[T](Dims{n, n, n}) }
+
+// FromSlice wraps an existing slice as a grid. The slice length must equal
+// d.Count(); FromSlice panics otherwise, since a silent mismatch would
+// corrupt every downstream index computation.
+func FromSlice[T Float](d Dims, data []T) *Grid3[T] {
+	if len(data) != d.Count() {
+		panic(fmt.Sprintf("grid: slice length %d does not match dims %v (%d cells)", len(data), d, d.Count()))
+	}
+	return &Grid3[T]{Dim: d, Data: data}
+}
+
+// At returns the value at (x,y,z).
+func (g *Grid3[T]) At(x, y, z int) T { return g.Data[g.Dim.Index(x, y, z)] }
+
+// Set stores v at (x,y,z).
+func (g *Grid3[T]) Set(x, y, z int, v T) { g.Data[g.Dim.Index(x, y, z)] = v }
+
+// Clone returns a deep copy of the grid.
+func (g *Grid3[T]) Clone() *Grid3[T] {
+	out := New[T](g.Dim)
+	copy(out.Data, g.Data)
+	return out
+}
+
+// Fill sets every cell to v.
+func (g *Grid3[T]) Fill(v T) {
+	for i := range g.Data {
+		g.Data[i] = v
+	}
+}
+
+// Region is an axis-aligned box of cells, half-open: [X0,X1)×[Y0,Y1)×[Z0,Z1).
+type Region struct {
+	X0, Y0, Z0 int
+	X1, Y1, Z1 int
+}
+
+// RegionOf returns the region covering the whole of dims d.
+func RegionOf(d Dims) Region { return Region{0, 0, 0, d.X, d.Y, d.Z} }
+
+// Dims returns the extents of the region.
+func (r Region) Dims() Dims { return Dims{r.X1 - r.X0, r.Y1 - r.Y0, r.Z1 - r.Z0} }
+
+// Count returns the number of cells in the region.
+func (r Region) Count() int { return r.Dims().Count() }
+
+// Empty reports whether the region contains no cells.
+func (r Region) Empty() bool { return r.X1 <= r.X0 || r.Y1 <= r.Y0 || r.Z1 <= r.Z0 }
+
+// Intersect clips the region to the grid extent d.
+func (r Region) Intersect(d Dims) Region {
+	c := r
+	if c.X0 < 0 {
+		c.X0 = 0
+	}
+	if c.Y0 < 0 {
+		c.Y0 = 0
+	}
+	if c.Z0 < 0 {
+		c.Z0 = 0
+	}
+	if c.X1 > d.X {
+		c.X1 = d.X
+	}
+	if c.Y1 > d.Y {
+		c.Y1 = d.Y
+	}
+	if c.Z1 > d.Z {
+		c.Z1 = d.Z
+	}
+	return c
+}
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	return fmt.Sprintf("[%d:%d,%d:%d,%d:%d]", r.X0, r.X1, r.Y0, r.Y1, r.Z0, r.Z1)
+}
+
+// Extract copies the region r of g into a new dense grid of r.Dims().
+func (g *Grid3[T]) Extract(r Region) *Grid3[T] {
+	out := New[T](r.Dims())
+	g.CopyRegionTo(r, out.Data)
+	return out
+}
+
+// CopyRegionTo copies region r of g into dst (row-major, z fastest). dst
+// must have length r.Count().
+func (g *Grid3[T]) CopyRegionTo(r Region, dst []T) {
+	d := r.Dims()
+	if len(dst) != d.Count() {
+		panic(fmt.Sprintf("grid: dst length %d does not match region %v (%d cells)", len(dst), r, d.Count()))
+	}
+	nz := d.Z
+	di := 0
+	for x := r.X0; x < r.X1; x++ {
+		for y := r.Y0; y < r.Y1; y++ {
+			src := g.Dim.Index(x, y, r.Z0)
+			copy(dst[di:di+nz], g.Data[src:src+nz])
+			di += nz
+		}
+	}
+}
+
+// SetRegion copies src (a dense block of r.Dims() cells) into region r of g.
+func (g *Grid3[T]) SetRegion(r Region, src []T) {
+	d := r.Dims()
+	if len(src) != d.Count() {
+		panic(fmt.Sprintf("grid: src length %d does not match region %v (%d cells)", len(src), r, d.Count()))
+	}
+	nz := d.Z
+	si := 0
+	for x := r.X0; x < r.X1; x++ {
+		for y := r.Y0; y < r.Y1; y++ {
+			dst := g.Dim.Index(x, y, r.Z0)
+			copy(g.Data[dst:dst+nz], src[si:si+nz])
+			si += nz
+		}
+	}
+}
+
+// FillRegion sets every cell in region r to v.
+func (g *Grid3[T]) FillRegion(r Region, v T) {
+	for x := r.X0; x < r.X1; x++ {
+		for y := r.Y0; y < r.Y1; y++ {
+			base := g.Dim.Index(x, y, r.Z0)
+			row := g.Data[base : base+(r.Z1-r.Z0)]
+			for i := range row {
+				row[i] = v
+			}
+		}
+	}
+}
+
+// Upsample returns a grid refined by integer factor f using piecewise-
+// constant injection: every source cell is replicated into an f×f×f block.
+// This is the up-sampling the 3D baseline performs when unifying AMR levels
+// (Sec. 2.2 of the paper); injection is what Nyx plotfile tools use.
+func (g *Grid3[T]) Upsample(f int) *Grid3[T] {
+	if f == 1 {
+		return g.Clone()
+	}
+	out := New[T](g.Dim.Scale(f))
+	for x := 0; x < g.Dim.X; x++ {
+		for y := 0; y < g.Dim.Y; y++ {
+			for z := 0; z < g.Dim.Z; z++ {
+				v := g.At(x, y, z)
+				for dx := 0; dx < f; dx++ {
+					for dy := 0; dy < f; dy++ {
+						base := out.Dim.Index(x*f+dx, y*f+dy, z*f)
+						row := out.Data[base : base+f]
+						for i := range row {
+							row[i] = v
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Downsample returns a grid coarsened by integer factor f, each coarse cell
+// holding the arithmetic mean of its f×f×f fine children (the conservative
+// restriction AMR codes use). Dims must be divisible by f.
+func (g *Grid3[T]) Downsample(f int) *Grid3[T] {
+	if f == 1 {
+		return g.Clone()
+	}
+	if g.Dim.X%f != 0 || g.Dim.Y%f != 0 || g.Dim.Z%f != 0 {
+		panic(fmt.Sprintf("grid: dims %v not divisible by %d", g.Dim, f))
+	}
+	cd := Dims{g.Dim.X / f, g.Dim.Y / f, g.Dim.Z / f}
+	out := New[T](cd)
+	inv := 1.0 / float64(f*f*f)
+	for cx := 0; cx < cd.X; cx++ {
+		for cy := 0; cy < cd.Y; cy++ {
+			for cz := 0; cz < cd.Z; cz++ {
+				var sum float64
+				for dx := 0; dx < f; dx++ {
+					for dy := 0; dy < f; dy++ {
+						base := g.Dim.Index(cx*f+dx, cy*f+dy, cz*f)
+						row := g.Data[base : base+f]
+						for _, v := range row {
+							sum += float64(v)
+						}
+					}
+				}
+				out.Set(cx, cy, cz, T(sum*inv))
+			}
+		}
+	}
+	return out
+}
+
+// MinMax returns the smallest and largest values in the grid. It returns
+// (0, 0) for an empty grid.
+func (g *Grid3[T]) MinMax() (min, max T) {
+	if len(g.Data) == 0 {
+		return 0, 0
+	}
+	min, max = g.Data[0], g.Data[0]
+	for _, v := range g.Data[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return
+}
+
+// Mean returns the arithmetic mean of all cells (0 for an empty grid).
+func (g *Grid3[T]) Mean() float64 {
+	if len(g.Data) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range g.Data {
+		sum += float64(v)
+	}
+	return sum / float64(len(g.Data))
+}
+
+// MaxAbsDiff returns the largest absolute difference between two grids of
+// identical dims.
+func MaxAbsDiff[T Float](a, b *Grid3[T]) float64 {
+	if a.Dim != b.Dim {
+		panic(fmt.Sprintf("grid: dims mismatch %v vs %v", a.Dim, b.Dim))
+	}
+	var m float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

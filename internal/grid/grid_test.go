@@ -1,0 +1,232 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDimsIndexCoordsInverse(t *testing.T) {
+	d := Dims{X: 5, Y: 7, Z: 3}
+	for i := 0; i < d.Count(); i++ {
+		x, y, z := d.Coords(i)
+		if !d.Contains(x, y, z) {
+			t.Fatalf("Coords(%d) = (%d,%d,%d) outside grid", i, x, y, z)
+		}
+		if j := d.Index(x, y, z); j != i {
+			t.Fatalf("Index(Coords(%d)) = %d", i, j)
+		}
+	}
+}
+
+func TestDimsHelpers(t *testing.T) {
+	d := Dims{X: 8, Y: 8, Z: 8}
+	if !d.IsCube() {
+		t.Fatal("8x8x8 should be a cube")
+	}
+	if (Dims{X: 8, Y: 8, Z: 4}).IsCube() {
+		t.Fatal("8x8x4 is not a cube")
+	}
+	if got := d.Scale(2); got != (Dims{16, 16, 16}) {
+		t.Fatalf("Scale: %v", got)
+	}
+	if got := (Dims{X: 9, Y: 8, Z: 7}).Div(4); got != (Dims{3, 2, 2}) {
+		t.Fatalf("Div rounds up: %v", got)
+	}
+	if d.String() != "8x8x8" {
+		t.Fatalf("String: %q", d.String())
+	}
+}
+
+func TestExtractSetRegionRoundTrip(t *testing.T) {
+	d := Dims{X: 10, Y: 12, Z: 8}
+	g := New[float64](d)
+	rng := rand.New(rand.NewSource(1))
+	for i := range g.Data {
+		g.Data[i] = rng.Float64()
+	}
+	r := Region{X0: 2, Y0: 3, Z0: 1, X1: 9, Y1: 11, Z1: 6}
+	sub := g.Extract(r)
+	if sub.Dim != r.Dims() {
+		t.Fatalf("extracted dims %v, want %v", sub.Dim, r.Dims())
+	}
+	for x := r.X0; x < r.X1; x++ {
+		for y := r.Y0; y < r.Y1; y++ {
+			for z := r.Z0; z < r.Z1; z++ {
+				if sub.At(x-r.X0, y-r.Y0, z-r.Z0) != g.At(x, y, z) {
+					t.Fatalf("extract mismatch at (%d,%d,%d)", x, y, z)
+				}
+			}
+		}
+	}
+	out := New[float64](d)
+	out.SetRegion(r, sub.Data)
+	for x := r.X0; x < r.X1; x++ {
+		for y := r.Y0; y < r.Y1; y++ {
+			for z := r.Z0; z < r.Z1; z++ {
+				if out.At(x, y, z) != g.At(x, y, z) {
+					t.Fatalf("set mismatch at (%d,%d,%d)", x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestFillRegion(t *testing.T) {
+	g := New[float32](Dims{X: 4, Y: 4, Z: 4})
+	g.FillRegion(Region{X0: 1, Y0: 1, Z0: 1, X1: 3, Y1: 3, Z1: 3}, 7)
+	if g.At(0, 0, 0) != 0 || g.At(1, 1, 1) != 7 || g.At(2, 2, 2) != 7 || g.At(3, 3, 3) != 0 {
+		t.Fatal("FillRegion wrote wrong cells")
+	}
+}
+
+func TestRegionHelpers(t *testing.T) {
+	r := Region{X0: -2, Y0: 0, Z0: 3, X1: 100, Y1: 4, Z1: 5}
+	c := r.Intersect(Dims{X: 8, Y: 8, Z: 8})
+	if c.X0 != 0 || c.X1 != 8 || c.Y1 != 4 || c.Z0 != 3 {
+		t.Fatalf("Intersect: %+v", c)
+	}
+	if (Region{X0: 3, X1: 3, Y1: 1, Z1: 1}).Empty() != true {
+		t.Fatal("degenerate region should be empty")
+	}
+	if RegionOf(Dims{X: 2, Y: 3, Z: 4}).Count() != 24 {
+		t.Fatal("RegionOf count")
+	}
+}
+
+func TestUpsampleDownsampleInverse(t *testing.T) {
+	g := New[float64](Dims{X: 4, Y: 4, Z: 4})
+	rng := rand.New(rand.NewSource(2))
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	// Downsample(Upsample(g, f), f) == g exactly (mean of f³ copies).
+	up := g.Upsample(2)
+	down := up.Downsample(2)
+	if MaxAbsDiff(g, down) > 1e-12 {
+		t.Fatalf("down(up(g)) != g: %v", MaxAbsDiff(g, down))
+	}
+	// Upsample replicates.
+	if up.At(3, 3, 3) != g.At(1, 1, 1) {
+		t.Fatal("upsample did not replicate")
+	}
+}
+
+func TestDownsampleAverages(t *testing.T) {
+	g := New[float64](Dims{X: 2, Y: 2, Z: 2})
+	for i := range g.Data {
+		g.Data[i] = float64(i)
+	}
+	d := g.Downsample(2)
+	if d.Dim.Count() != 1 || d.Data[0] != 3.5 {
+		t.Fatalf("mean of 0..7 should be 3.5, got %v", d.Data[0])
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	g := New[float32](Dims{X: 2, Y: 2, Z: 1})
+	copy(g.Data, []float32{3, -1, 7, 5})
+	lo, hi := g.MinMax()
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+	if g.Mean() != 3.5 {
+		t.Fatalf("Mean = %v", g.Mean())
+	}
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice should panic on length mismatch")
+		}
+	}()
+	FromSlice(Dims{X: 2, Y: 2, Z: 2}, make([]float64, 7))
+}
+
+func TestMaskBasics(t *testing.T) {
+	m := NewMask(Dims{X: 4, Y: 4, Z: 4})
+	if m.Count() != 0 || m.Density() != 0 {
+		t.Fatal("new mask should be empty")
+	}
+	m.Set(1, 2, 3, true)
+	if !m.At(1, 2, 3) || m.Count() != 1 {
+		t.Fatal("Set/At broken")
+	}
+	m.Fill(true)
+	if m.Density() != 1 {
+		t.Fatal("Fill(true) should give density 1")
+	}
+	m.FillRegion(Region{X0: 0, Y0: 0, Z0: 0, X1: 2, Y1: 4, Z1: 4}, false)
+	if m.Count() != 32 {
+		t.Fatalf("FillRegion(false): count %d, want 32", m.Count())
+	}
+	if m.CountRegion(Region{X0: 0, Y0: 0, Z0: 0, X1: 4, Y1: 4, Z1: 4}) != 32 {
+		t.Fatal("CountRegion mismatch")
+	}
+}
+
+func TestSumTableMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := Dims{X: rng.Intn(7) + 1, Y: rng.Intn(7) + 1, Z: rng.Intn(7) + 1}
+		m := NewMask(d)
+		for i := range m.Bits {
+			m.Bits[i] = rng.Intn(2) == 0
+		}
+		st := NewSumTable(m)
+		for trial := 0; trial < 20; trial++ {
+			x0, x1 := rng.Intn(d.X+1), rng.Intn(d.X+1)
+			y0, y1 := rng.Intn(d.Y+1), rng.Intn(d.Y+1)
+			z0, z1 := rng.Intn(d.Z+1), rng.Intn(d.Z+1)
+			if x0 > x1 {
+				x0, x1 = x1, x0
+			}
+			if y0 > y1 {
+				y0, y1 = y1, y0
+			}
+			if z0 > z1 {
+				z0, z1 = z1, z0
+			}
+			r := Region{X0: x0, Y0: y0, Z0: z0, X1: x1, Y1: y1, Z1: z1}
+			if st.Count(r) != int64(m.CountRegion(r)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumTableFullEmpty(t *testing.T) {
+	m := NewMask(Dims{X: 4, Y: 4, Z: 4})
+	m.FillRegion(Region{X1: 2, Y1: 4, Z1: 4}, true)
+	st := NewSumTable(m)
+	if !st.Full(Region{X1: 2, Y1: 4, Z1: 4}) {
+		t.Fatal("filled half should be Full")
+	}
+	if st.Full(Region{X1: 3, Y1: 4, Z1: 4}) {
+		t.Fatal("partly-filled region is not Full")
+	}
+	if !st.EmptyRegion(Region{X0: 2, X1: 4, Y1: 4, Z1: 4}) {
+		t.Fatal("unfilled half should be empty")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New[float32](Dims{X: 2, Y: 2, Z: 2})
+	g.Fill(1)
+	c := g.Clone()
+	c.Fill(2)
+	if g.Data[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+	m := NewMask(Dims{X: 2, Y: 2, Z: 2})
+	mc := m.Clone()
+	mc.Fill(true)
+	if m.Count() != 0 {
+		t.Fatal("Mask.Clone shares storage")
+	}
+}

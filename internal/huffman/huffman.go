@@ -1,0 +1,261 @@
+// Package huffman implements a canonical Huffman coder over uint32 symbol
+// streams. It is the entropy stage of the SZ-style compressor (Sec. 2.1 of
+// the TAC paper: "apply a customized Huffman coding and lossless compression
+// to achieve a higher ratio").
+//
+// Codes are canonical: only the code length of each present symbol is
+// serialized, and both sides reconstruct identical codebooks, so the header
+// overhead stays small even for large quantization-bin alphabets.
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitio"
+)
+
+const maxCodeLen = 57 // fits in a single bitio read; depth is clamped below
+
+// node is an internal tree node used only during code-length construction.
+type node struct {
+	freq        uint64
+	sym         uint32
+	leaf        bool
+	left, right *node
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	// Deterministic tie-break keeps encodings reproducible across runs.
+	return h[i].sym < h[j].sym
+}
+func (h nodeHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)       { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() any         { old := *h; n := old[len(old)-1]; *h = old[:len(old)-1]; return n }
+func (h nodeHeap) Peek() *node       { return h[0] }
+func (h *nodeHeap) PushNode(n *node) { heap.Push(h, n) }
+func (h *nodeHeap) PopNode() *node   { return heap.Pop(h).(*node) }
+
+// codeLengths computes per-symbol code lengths from frequencies using the
+// classic two-queue Huffman construction on a binary heap.
+func codeLengths(freq map[uint32]uint64) map[uint32]uint8 {
+	lens := make(map[uint32]uint8, len(freq))
+	switch len(freq) {
+	case 0:
+		return lens
+	case 1:
+		for s := range freq {
+			lens[s] = 1
+		}
+		return lens
+	}
+	h := make(nodeHeap, 0, len(freq))
+	for s, f := range freq {
+		h = append(h, &node{freq: f, sym: s, leaf: true})
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := h.PopNode()
+		b := h.PopNode()
+		h.PushNode(&node{freq: a.freq + b.freq, sym: minU32(a.sym, b.sym), left: a, right: b})
+	}
+	var walk func(n *node, depth uint8)
+	walk = func(n *node, depth uint8) {
+		if n.leaf {
+			if depth == 0 {
+				depth = 1
+			}
+			if depth > maxCodeLen {
+				depth = maxCodeLen // pathological skew; canonical rebuild below stays prefix-free only if lengths are valid, so clamp is a safety net for absurd alphabets
+			}
+			lens[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(h.Peek(), 0)
+	return lens
+}
+
+func minU32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// symCode is one entry of a canonical codebook.
+type symCode struct {
+	sym  uint32
+	len  uint8
+	code uint64
+}
+
+// canonicalize assigns canonical codes: symbols sorted by (length, symbol)
+// receive consecutive codes.
+func canonicalize(lens map[uint32]uint8) []symCode {
+	codes := make([]symCode, 0, len(lens))
+	for s, l := range lens {
+		codes = append(codes, symCode{sym: s, len: l})
+	}
+	sort.Slice(codes, func(i, j int) bool {
+		if codes[i].len != codes[j].len {
+			return codes[i].len < codes[j].len
+		}
+		return codes[i].sym < codes[j].sym
+	})
+	var code uint64
+	var prevLen uint8
+	for i := range codes {
+		code <<= codes[i].len - prevLen
+		codes[i].code = code
+		code++
+		prevLen = codes[i].len
+	}
+	return codes
+}
+
+// Encode Huffman-codes syms and returns a self-contained byte blob
+// (codebook header + bit stream). Decode inverts it.
+func Encode(syms []uint32) []byte {
+	freq := make(map[uint32]uint64)
+	for _, s := range syms {
+		freq[s]++
+	}
+	lens := codeLengths(freq)
+	codes := canonicalize(lens)
+
+	table := make(map[uint32]symCode, len(codes))
+	for _, c := range codes {
+		table[c.sym] = c
+	}
+
+	// Header: nsyms, count of distinct symbols, then (symbol, length) pairs
+	// with delta-coded symbols (quantization codes cluster near the middle
+	// bin, so deltas varint-pack tightly).
+	var hdr []byte
+	hdr = bitio.AppendUvarint(hdr, uint64(len(syms)))
+	hdr = bitio.AppendUvarint(hdr, uint64(len(codes)))
+	bySym := make([]symCode, len(codes))
+	copy(bySym, codes)
+	sort.Slice(bySym, func(i, j int) bool { return bySym[i].sym < bySym[j].sym })
+	prev := uint32(0)
+	for _, c := range bySym {
+		hdr = bitio.AppendUvarint(hdr, uint64(c.sym-prev))
+		hdr = bitio.AppendUvarint(hdr, uint64(c.len))
+		prev = c.sym
+	}
+
+	w := bitio.NewWriter()
+	for _, s := range syms {
+		c := table[s]
+		w.WriteBits(c.code, uint(c.len))
+	}
+	body := w.Bytes()
+
+	out := make([]byte, 0, len(hdr)+len(body)+8)
+	out = bitio.AppendBytes(out, hdr)
+	out = append(out, body...)
+	return out
+}
+
+// Decode inverts Encode. It returns an error for truncated or corrupt input.
+func Decode(blob []byte) ([]uint32, error) {
+	hdr, n, err := bitio.Bytes(blob)
+	if err != nil {
+		return nil, fmt.Errorf("huffman: reading header: %w", err)
+	}
+	body := blob[n:]
+
+	nsyms, k, err := bitio.Uvarint(hdr)
+	if err != nil {
+		return nil, fmt.Errorf("huffman: symbol count: %w", err)
+	}
+	hdr = hdr[k:]
+	ncodes, k, err := bitio.Uvarint(hdr)
+	if err != nil {
+		return nil, fmt.Errorf("huffman: code count: %w", err)
+	}
+	hdr = hdr[k:]
+	if nsyms > 0 && ncodes == 0 {
+		return nil, errors.New("huffman: nonempty stream with empty codebook")
+	}
+
+	lens := make(map[uint32]uint8, ncodes)
+	prev := uint32(0)
+	for i := uint64(0); i < ncodes; i++ {
+		ds, k, err := bitio.Uvarint(hdr)
+		if err != nil {
+			return nil, fmt.Errorf("huffman: codebook symbol %d: %w", i, err)
+		}
+		hdr = hdr[k:]
+		l, k, err := bitio.Uvarint(hdr)
+		if err != nil {
+			return nil, fmt.Errorf("huffman: codebook length %d: %w", i, err)
+		}
+		hdr = hdr[k:]
+		if l == 0 || l > maxCodeLen {
+			return nil, fmt.Errorf("huffman: invalid code length %d", l)
+		}
+		sym := prev + uint32(ds)
+		lens[sym] = uint8(l)
+		prev = sym
+	}
+	codes := canonicalize(lens)
+
+	// Group canonical codes by length for linear-scan decoding: for each
+	// length we know the first code and the symbol list, so decoding is a
+	// compare per length class (lengths are few; symbol counts are large).
+	type lenClass struct {
+		len       uint8
+		firstCode uint64
+		syms      []uint32
+	}
+	var classes []lenClass
+	for _, c := range codes {
+		if len(classes) == 0 || classes[len(classes)-1].len != c.len {
+			classes = append(classes, lenClass{len: c.len, firstCode: c.code})
+		}
+		cl := &classes[len(classes)-1]
+		cl.syms = append(cl.syms, c.sym)
+	}
+
+	r := bitio.NewReader(body)
+	out := make([]uint32, 0, nsyms)
+	for uint64(len(out)) < nsyms {
+		var code uint64
+		var clen uint8
+		matched := false
+		for _, cl := range classes {
+			for clen < cl.len {
+				b, err := r.ReadBit()
+				if err != nil {
+					return nil, fmt.Errorf("huffman: bit stream truncated at symbol %d: %w", len(out), err)
+				}
+				code <<= 1
+				if b {
+					code |= 1
+				}
+				clen++
+			}
+			if off := code - cl.firstCode; code >= cl.firstCode && off < uint64(len(cl.syms)) {
+				out = append(out, cl.syms[off])
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("huffman: invalid code 0b%b (len %d) at symbol %d", code, clen, len(out))
+		}
+	}
+	return out, nil
+}

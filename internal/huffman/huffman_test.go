@@ -1,0 +1,120 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, syms []uint32) {
+	t.Helper()
+	blob := Encode(syms)
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got) != len(syms) {
+		t.Fatalf("decoded %d symbols, want %d", len(got), len(syms))
+	}
+	for i := range syms {
+		if got[i] != syms[i] {
+			t.Fatalf("symbol %d: got %d, want %d", i, got[i], syms[i])
+		}
+	}
+}
+
+func TestEmpty(t *testing.T)        { roundTrip(t, nil) }
+func TestSingleSymbol(t *testing.T) { roundTrip(t, []uint32{7, 7, 7, 7, 7}) }
+func TestTwoSymbols(t *testing.T)   { roundTrip(t, []uint32{1, 2, 1, 1, 2}) }
+
+func TestSkewedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	syms := make([]uint32, 100000)
+	for i := range syms {
+		// Geometric-ish distribution, like quantization codes.
+		v := uint32(32768)
+		for rng.Intn(2) == 0 && v < 32790 {
+			v++
+		}
+		syms[i] = v
+	}
+	blob := Encode(syms)
+	if len(blob) >= 2*len(syms) {
+		t.Fatalf("skewed stream did not compress: %d bytes for %d symbols", len(blob), len(syms))
+	}
+	roundTrip(t, syms)
+}
+
+func TestUniformAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	syms := make([]uint32, 4096)
+	for i := range syms {
+		syms[i] = uint32(rng.Intn(256))
+	}
+	roundTrip(t, syms)
+}
+
+func TestLargeSymbolValues(t *testing.T) {
+	roundTrip(t, []uint32{0, 1 << 30, 42, 1<<31 + 5, 42, 0})
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint16, alphabet uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := int(alphabet)%64 + 1
+		syms := make([]uint32, int(n)%2048)
+		for i := range syms {
+			syms[i] = uint32(rng.Intn(a))
+		}
+		blob := Encode(syms)
+		got, err := Decode(blob)
+		if err != nil || len(got) != len(syms) {
+			return false
+		}
+		for i := range syms {
+			if got[i] != syms[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	syms := []uint32{1, 2, 3, 4, 5, 1, 2, 3}
+	blob := Encode(syms)
+	// Truncations must error, never panic or return wrong-length output.
+	for cut := 0; cut < len(blob); cut++ {
+		if got, err := Decode(blob[:cut]); err == nil && len(got) == len(syms) {
+			// A prefix that still decodes fully would be a framing bug.
+			same := true
+			for i := range syms {
+				if got[i] != syms[i] {
+					same = false
+					break
+				}
+			}
+			if same && cut < len(blob)-1 {
+				t.Fatalf("truncation to %d bytes still decodes fully", cut)
+			}
+		}
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("Decode(nil) should error")
+	}
+}
+
+func TestCompressionBeatsRaw(t *testing.T) {
+	// A highly repetitive stream should compress far below 4 bytes/symbol.
+	syms := make([]uint32, 65536)
+	for i := range syms {
+		syms[i] = uint32(i % 3)
+	}
+	blob := Encode(syms)
+	if len(blob) > len(syms)/2 {
+		t.Fatalf("3-symbol stream took %d bytes for %d symbols", len(blob), len(syms))
+	}
+}

@@ -1,0 +1,245 @@
+// Package kdtree implements spatial subdivision over unit-block occupancy
+// masks: the classic fixed-cycle k-d tree used in particle data compression
+// (Sec. 2.4 of the TAC paper) and the paper's adaptive k-d tree (AKDTree,
+// Sec. 3.2 / Algorithm 2), which picks the split dimension maximizing the
+// occupancy difference between the two children so that large fully-
+// occupied leaves emerge early.
+//
+// Both variants keep splitting until a node is entirely empty or entirely
+// full; the full leaves are the sub-blocks handed to the compressor.
+package kdtree
+
+import (
+	"sort"
+
+	"repro/internal/grid"
+)
+
+// Box is an axis-aligned box in unit-block coordinates: origin and size.
+type Box struct {
+	X, Y, Z    int
+	DX, DY, DZ int
+}
+
+// Region converts the box to a grid.Region in block coordinates.
+func (b Box) Region() grid.Region {
+	return grid.Region{X0: b.X, Y0: b.Y, Z0: b.Z, X1: b.X + b.DX, Y1: b.Y + b.DY, Z1: b.Z + b.DZ}
+}
+
+// Blocks returns the number of unit blocks the box covers.
+func (b Box) Blocks() int { return b.DX * b.DY * b.DZ }
+
+func boxFromRegion(r grid.Region) Box {
+	return Box{X: r.X0, Y: r.Y0, Z: r.Z0, DX: r.X1 - r.X0, DY: r.Y1 - r.Y0, DZ: r.Z1 - r.Z0}
+}
+
+// Stats reports construction counters, used by the Fig. 13 time-overhead
+// experiment and the ablation benches.
+type Stats struct {
+	Nodes      int // tree nodes visited
+	FullLeaves int
+	EmptyLeafs int
+}
+
+// Adaptive runs AKDTree over the mask and returns the full leaf boxes in
+// deterministic (depth-first) order, plus construction stats.
+//
+// Following Algorithm 2, nodes cycle through three shapes — cube (1:1:1),
+// flat (2:2:1) and slim (2:1:1). A cube is conceptually split into eight
+// octants whose occupancy counts c1..c8 decide the split dimension (the one
+// with the maximum |left−right| difference); the flat child reuses the four
+// counts on its side; the slim child splits along its long dimension,
+// yielding cubes again. Occupancy counts come from a 3D summed-area table,
+// so every decision is O(1).
+func Adaptive(mask *grid.Mask) ([]Box, Stats) {
+	t := grid.NewSumTable(mask)
+	var leaves []Box
+	var st Stats
+	// The shape cycle assumes a power-of-two cube domain. Embed the mask
+	// in one; the padding is empty, so the spurious space prunes in
+	// O(log n) splits.
+	n := 1
+	for n < mask.Dim.X || n < mask.Dim.Y || n < mask.Dim.Z {
+		n <<= 1
+	}
+	adaptiveSplit(t, grid.Region{X1: n, Y1: n, Z1: n}, &leaves, &st)
+	return leaves, st
+}
+
+func adaptiveSplit(t *grid.SumTable, r grid.Region, leaves *[]Box, st *Stats) {
+	st.Nodes++
+	// Clip to the actual domain for counting; the clipped part is what the
+	// leaf would cover.
+	clipped := r.Intersect(t.Dims())
+	if clipped.Empty() {
+		st.EmptyLeafs++
+		return
+	}
+	cnt := t.Count(clipped)
+	if cnt == 0 {
+		st.EmptyLeafs++
+		return
+	}
+	if clipped == r && cnt == int64(r.Count()) {
+		st.FullLeaves++
+		*leaves = append(*leaves, boxFromRegion(r))
+		return
+	}
+	if r.Count() == 1 {
+		// A single unit block is empty or full; both cases are handled
+		// above when the block lies inside the domain. Out-of-domain
+		// slivers cannot reach here because clipped.Empty() caught them.
+		st.FullLeaves++
+		*leaves = append(*leaves, boxFromRegion(r))
+		return
+	}
+	d := r.Dims()
+	var axis int
+	switch {
+	case d.X == d.Y && d.Y == d.Z:
+		// Cube: pick the dimension with the maximum occupancy difference
+		// between its two halves (equivalent to the octant-count sums of
+		// Algorithm 2).
+		axis = maxDiffAxis(t, r, []int{0, 1, 2})
+	case twoLongOneShort(d):
+		// Flat: the short dimension was just split; choose between the
+		// two long dimensions.
+		axis = maxDiffAxis(t, r, longAxes(d))
+	default:
+		// Slim (or irregular boundary shape): split the largest dimension.
+		axis = largestAxis(d)
+	}
+	a, b := halve(r, axis)
+	adaptiveSplit(t, a, leaves, st)
+	adaptiveSplit(t, b, leaves, st)
+}
+
+// Classic runs the fixed-cycle k-d tree (split dimensions x, y, z in turn,
+// always at the midpoint) until every leaf is empty or full. It is the
+// reference the paper's Fig. 8 contrasts AKDTree against, and serves as the
+// ablation baseline for the adaptive split choice.
+func Classic(mask *grid.Mask) ([]Box, Stats) {
+	t := grid.NewSumTable(mask)
+	var leaves []Box
+	var st Stats
+	n := 1
+	for n < mask.Dim.X || n < mask.Dim.Y || n < mask.Dim.Z {
+		n <<= 1
+	}
+	classicSplit(t, grid.Region{X1: n, Y1: n, Z1: n}, 0, &leaves, &st)
+	return leaves, st
+}
+
+func classicSplit(t *grid.SumTable, r grid.Region, depth int, leaves *[]Box, st *Stats) {
+	st.Nodes++
+	clipped := r.Intersect(t.Dims())
+	if clipped.Empty() {
+		st.EmptyLeafs++
+		return
+	}
+	cnt := t.Count(clipped)
+	if cnt == 0 {
+		st.EmptyLeafs++
+		return
+	}
+	if clipped == r && cnt == int64(r.Count()) {
+		st.FullLeaves++
+		*leaves = append(*leaves, boxFromRegion(r))
+		return
+	}
+	d := r.Dims()
+	axis := depth % 3
+	// Skip axes that cannot be split further.
+	for i := 0; i < 3 && axisLen(d, axis) < 2; i++ {
+		axis = (axis + 1) % 3
+	}
+	a, b := halve(r, axis)
+	classicSplit(t, a, depth+1, leaves, st)
+	classicSplit(t, b, depth+1, leaves, st)
+}
+
+// maxDiffAxis returns the axis from candidates whose midpoint split
+// maximizes the occupancy difference between the two halves. Ties resolve
+// to the lowest axis index for determinism.
+func maxDiffAxis(t *grid.SumTable, r grid.Region, candidates []int) int {
+	sort.Ints(candidates)
+	best, bestDiff := candidates[0], int64(-1)
+	for _, ax := range candidates {
+		if axisLen(r.Dims(), ax) < 2 {
+			continue
+		}
+		a, b := halve(r, ax)
+		diff := t.Count(a.Intersect(t.Dims())) - t.Count(b.Intersect(t.Dims()))
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > bestDiff {
+			best, bestDiff = ax, diff
+		}
+	}
+	return best
+}
+
+func axisLen(d grid.Dims, axis int) int {
+	switch axis {
+	case 0:
+		return d.X
+	case 1:
+		return d.Y
+	default:
+		return d.Z
+	}
+}
+
+func largestAxis(d grid.Dims) int {
+	axis := 0
+	if d.Y > axisLen(d, axis) {
+		axis = 1
+	}
+	if d.Z > axisLen(d, axis) {
+		axis = 2
+	}
+	return axis
+}
+
+// twoLongOneShort reports whether exactly one dimension is strictly the
+// shortest and the other two are equal — the "flat" shape of Algorithm 2.
+func twoLongOneShort(d grid.Dims) bool {
+	switch {
+	case d.X == d.Y && d.Z < d.X:
+		return true
+	case d.X == d.Z && d.Y < d.X:
+		return true
+	case d.Y == d.Z && d.X < d.Y:
+		return true
+	}
+	return false
+}
+
+func longAxes(d grid.Dims) []int {
+	switch {
+	case d.X == d.Y && d.Z < d.X:
+		return []int{0, 1}
+	case d.X == d.Z && d.Y < d.X:
+		return []int{0, 2}
+	default:
+		return []int{1, 2}
+	}
+}
+
+// halve splits r at the midpoint of the given axis.
+func halve(r grid.Region, axis int) (grid.Region, grid.Region) {
+	a, b := r, r
+	switch axis {
+	case 0:
+		mid := (r.X0 + r.X1) / 2
+		a.X1, b.X0 = mid, mid
+	case 1:
+		mid := (r.Y0 + r.Y1) / 2
+		a.Y1, b.Y0 = mid, mid
+	default:
+		mid := (r.Z0 + r.Z1) / 2
+		a.Z1, b.Z0 = mid, mid
+	}
+	return a, b
+}

@@ -1,0 +1,171 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func randomMask(d grid.Dims, density float64, seed int64) *grid.Mask {
+	rng := rand.New(rand.NewSource(seed))
+	m := grid.NewMask(d)
+	for i := range m.Bits {
+		m.Bits[i] = rng.Float64() < density
+	}
+	return m
+}
+
+// verifyCover checks leaves tile exactly the occupied blocks.
+func verifyCover(t *testing.T, m *grid.Mask, boxes []Box) {
+	t.Helper()
+	cover := make([]int, m.Dim.Count())
+	for _, b := range boxes {
+		r := b.Region()
+		if r.Intersect(m.Dim) != r {
+			t.Fatalf("box %+v exceeds domain %v", b, m.Dim)
+		}
+		for x := r.X0; x < r.X1; x++ {
+			for y := r.Y0; y < r.Y1; y++ {
+				for z := r.Z0; z < r.Z1; z++ {
+					cover[m.Dim.Index(x, y, z)]++
+				}
+			}
+		}
+	}
+	for i, c := range cover {
+		want := 0
+		if m.Bits[i] {
+			want = 1
+		}
+		if c != want {
+			x, y, z := m.Dim.Coords(i)
+			t.Fatalf("block (%d,%d,%d) covered %d times, want %d", x, y, z, c, want)
+		}
+	}
+}
+
+func TestAdaptiveCoversExactly(t *testing.T) {
+	for _, density := range []float64{0, 0.1, 0.5, 0.77, 1} {
+		m := randomMask(grid.Dims{X: 16, Y: 16, Z: 16}, density, int64(density*1000)+1)
+		boxes, st := Adaptive(m)
+		verifyCover(t, m, boxes)
+		if st.FullLeaves != len(boxes) {
+			t.Fatalf("stats full leaves %d, boxes %d", st.FullLeaves, len(boxes))
+		}
+	}
+}
+
+func TestClassicCoversExactly(t *testing.T) {
+	for _, density := range []float64{0.1, 0.6, 0.95} {
+		m := randomMask(grid.Dims{X: 16, Y: 16, Z: 16}, density, int64(density*100)+5)
+		boxes, _ := Classic(m)
+		verifyCover(t, m, boxes)
+	}
+}
+
+func TestNonCubeDomain(t *testing.T) {
+	// Non-power-of-two, non-cube domains must still cover exactly.
+	m := randomMask(grid.Dims{X: 12, Y: 6, Z: 10}, 0.4, 77)
+	boxes, _ := Adaptive(m)
+	verifyCover(t, m, boxes)
+	boxes, _ = Classic(m)
+	verifyCover(t, m, boxes)
+}
+
+func TestFullMaskSingleLeaf(t *testing.T) {
+	m := grid.NewMask(grid.Dims{X: 8, Y: 8, Z: 8})
+	m.Fill(true)
+	boxes, st := Adaptive(m)
+	if len(boxes) != 1 || boxes[0].Blocks() != 512 {
+		t.Fatalf("full mask gave %d leaves: %+v", len(boxes), boxes)
+	}
+	if st.Nodes != 1 {
+		t.Fatalf("full mask visited %d nodes, want 1", st.Nodes)
+	}
+}
+
+func TestEmptyMaskNoLeaves(t *testing.T) {
+	m := grid.NewMask(grid.Dims{X: 8, Y: 8, Z: 8})
+	boxes, _ := Adaptive(m)
+	if len(boxes) != 0 {
+		t.Fatalf("empty mask gave %d leaves", len(boxes))
+	}
+}
+
+func TestAdaptiveBeatsClassicOnSkewedData(t *testing.T) {
+	// An off-center slab: the adaptive split should isolate it in fewer
+	// leaves than the fixed cycle (the motivation of Fig. 8: n[2][2]'s
+	// largest sub-block is 4×2, which fixed splitting misses).
+	d := grid.Dims{X: 16, Y: 16, Z: 16}
+	m := grid.NewMask(d)
+	m.FillRegion(grid.Region{X0: 0, Y0: 4, Z0: 0, X1: 16, Y1: 12, Z1: 16}, true)
+	ab, _ := Adaptive(m)
+	cb, _ := Classic(m)
+	verifyCover(t, m, ab)
+	verifyCover(t, m, cb)
+	if len(ab) > len(cb) {
+		t.Fatalf("adaptive produced %d leaves, classic %d — adaptive should not be worse here", len(ab), len(cb))
+	}
+}
+
+func TestQuickAdaptiveCoverage(t *testing.T) {
+	f := func(seed int64, density uint8, side uint8) bool {
+		n := int(side)%12 + 2
+		m := randomMask(grid.Dims{X: n, Y: n, Z: n}, float64(density%101)/100, seed)
+		boxes, _ := Adaptive(m)
+		cover := make([]int, m.Dim.Count())
+		for _, b := range boxes {
+			r := b.Region()
+			for x := r.X0; x < r.X1; x++ {
+				for y := r.Y0; y < r.Y1; y++ {
+					for z := r.Z0; z < r.Z1; z++ {
+						if !m.Dim.Contains(x, y, z) {
+							return false
+						}
+						cover[m.Dim.Index(x, y, z)]++
+					}
+				}
+			}
+		}
+		for i, c := range cover {
+			want := 0
+			if m.Bits[i] {
+				want = 1
+			}
+			if c != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxHelpers(t *testing.T) {
+	b := Box{X: 1, Y: 2, Z: 3, DX: 4, DY: 5, DZ: 6}
+	if b.Blocks() != 120 {
+		t.Fatalf("Blocks = %d", b.Blocks())
+	}
+	r := b.Region()
+	if r.X0 != 1 || r.X1 != 5 || r.Y1 != 7 || r.Z1 != 9 {
+		t.Fatalf("Region = %+v", r)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	m := randomMask(grid.Dims{X: 16, Y: 16, Z: 16}, 0.5, 123)
+	a, _ := Adaptive(m)
+	b, _ := Adaptive(m)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic leaf count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("leaf %d differs", i)
+		}
+	}
+}

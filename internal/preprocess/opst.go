@@ -1,0 +1,131 @@
+// Package preprocess implements the TAC paper's pre-process strategies for
+// one AMR level: NaST (naive sparse tensor), OpST (optimized sparse tensor,
+// Algorithm 1), GSP (ghost-shell padding, Algorithm 3) and plain zero
+// filling. The AKDTree strategy lives in internal/kdtree; this package
+// provides the shared gather/scatter plumbing all strategies use.
+//
+// Every extraction here is a pure function of the occupancy mask, so the
+// decompressor replays it from the stored mask instead of shipping
+// coordinate metadata — the negligible-overhead property Sec. 3.1 claims.
+package preprocess
+
+import (
+	"repro/internal/grid"
+	"repro/internal/kdtree"
+)
+
+// OpST extracts maximal non-empty cubes from the mask following
+// Algorithm 1. BS(x,y,z) holds the edge length (in unit blocks) of the
+// largest fully-occupied cube whose upper corner (largest indices) is block
+// (x,y,z); scanning from the bottom-right-rear corner, each non-empty block
+// encountered yields a cube of side BS which is extracted, after which BS
+// is partially recomputed in a window bounded by maxSide.
+//
+// The returned boxes are cubes (DX==DY==DZ), in extraction order, covering
+// every occupied unit block exactly once.
+func OpST(mask *grid.Mask) []kdtree.Box {
+	d := mask.Dim
+	occ := make([]bool, len(mask.Bits))
+	copy(occ, mask.Bits)
+	bs := make([]int32, len(occ))
+
+	// Initial DP sweep (lines 1–10 of Algorithm 1).
+	maxSide := int32(0)
+	computeBS(d, occ, bs, grid.RegionOf(d), &maxSide)
+
+	var boxes []kdtree.Box
+	// Scan from the highest linear index (bottom-right-rear) backwards.
+	for i := len(bs) - 1; i >= 0; i-- {
+		s := int(bs[i])
+		if s == 0 {
+			continue
+		}
+		x, y, z := d.Coords(i)
+		cube := grid.Region{
+			X0: x - s + 1, Y0: y - s + 1, Z0: z - s + 1,
+			X1: x + 1, Y1: y + 1, Z1: z + 1,
+		}
+		boxes = append(boxes, kdtree.Box{
+			X: cube.X0, Y: cube.Y0, Z: cube.Z0, DX: s, DY: s, DZ: s,
+		})
+		// Mark extracted blocks empty and clear their BS (line 14).
+		for bx := cube.X0; bx < cube.X1; bx++ {
+			for by := cube.Y0; by < cube.Y1; by++ {
+				base := d.Index(bx, by, cube.Z0)
+				for k := 0; k < s; k++ {
+					occ[base+k] = false
+					bs[base+k] = 0
+				}
+			}
+		}
+		// Partial update (line 14, updateBs): any block whose maximal cube
+		// overlapped the extracted region lies within maxSide of it in the
+		// increasing direction; recompute BS over that window in ascending
+		// order so the recurrence sees updated neighbors.
+		win := grid.Region{
+			X0: cube.X0, Y0: cube.Y0, Z0: cube.Z0,
+			X1: cube.X1 + int(maxSide), Y1: cube.Y1 + int(maxSide), Z1: cube.Z1 + int(maxSide),
+		}.Intersect(d)
+		computeBS(d, occ, bs, win, nil)
+	}
+	return boxes
+}
+
+// computeBS evaluates the Algorithm-1 recurrence over region r in ascending
+// order. Neighbors outside r are read from the existing bs array. If
+// maxSide is non-nil it is raised to the largest BS seen.
+func computeBS(d grid.Dims, occ []bool, bs []int32, r grid.Region, maxSide *int32) {
+	at := func(x, y, z int) int32 {
+		if x < 0 || y < 0 || z < 0 {
+			return 0
+		}
+		return bs[d.Index(x, y, z)]
+	}
+	for x := r.X0; x < r.X1; x++ {
+		for y := r.Y0; y < r.Y1; y++ {
+			for z := r.Z0; z < r.Z1; z++ {
+				i := d.Index(x, y, z)
+				if !occ[i] {
+					bs[i] = 0
+					continue
+				}
+				v := min7(
+					at(x-1, y, z), at(x, y-1, z), at(x, y, z-1),
+					at(x-1, y-1, z), at(x, y-1, z-1), at(x-1, y, z-1),
+					at(x-1, y-1, z-1),
+				) + 1
+				bs[i] = v
+				if maxSide != nil && v > *maxSide {
+					*maxSide = v
+				}
+			}
+		}
+	}
+}
+
+func min7(a, b, c, d, e, f, g int32) int32 {
+	m := a
+	for _, v := range []int32{b, c, d, e, f, g} {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// NaST is the naive sparse tensor extraction (Sec. 3.1): every occupied
+// unit block becomes its own 1×1×1 box, in row-major order.
+func NaST(mask *grid.Mask) []kdtree.Box {
+	d := mask.Dim
+	var boxes []kdtree.Box
+	for x := 0; x < d.X; x++ {
+		for y := 0; y < d.Y; y++ {
+			for z := 0; z < d.Z; z++ {
+				if mask.At(x, y, z) {
+					boxes = append(boxes, kdtree.Box{X: x, Y: y, Z: z, DX: 1, DY: 1, DZ: 1})
+				}
+			}
+		}
+	}
+	return boxes
+}

@@ -1,0 +1,63 @@
+package sim
+
+import "fmt"
+
+// Catalog returns the seven Table-1 dataset specs, scaled by the given
+// divisor relative to the paper's resolutions. scale=4 (the default used by
+// the experiment harness) maps the paper's Run1 512³/256³ to 128³/64³ and
+// Run2's finest 1024³ to 256³, keeping every per-level density of Table 1.
+// scale must be a power of two between 1 and 16.
+//
+// Unit blocks are 8³ for Run1 and 4³ for Run2 at scale 4, preserving the
+// paper's block-to-grid edge ratio (16³ blocks on 512³ grids = 1:32) as
+// closely as coarse Run2 levels allow.
+func Catalog(scale int) ([]Spec, error) {
+	switch scale {
+	case 1, 2, 4, 8, 16:
+	default:
+		return nil, fmt.Errorf("sim: scale must be a power of two in [1,16], got %d", scale)
+	}
+	run1N := 512 / scale
+	run2T2 := 256 / scale
+	run2T3 := 512 / scale
+	run2T4 := 1024 / scale
+	ub1 := max(32/scale, 2)
+	ub2 := max(16/scale, 2)
+	specs := []Spec{
+		{Name: "Run1_Z10", FinestN: run1N, Levels: 2, UnitBlock: ub1, Seed: 1001,
+			LeafFractions: []float64{0.23, 0.77}},
+		{Name: "Run1_Z5", FinestN: run1N, Levels: 2, UnitBlock: ub1, Seed: 1001,
+			LeafFractions: []float64{0.58, 0.42}},
+		{Name: "Run1_Z3", FinestN: run1N, Levels: 2, UnitBlock: ub1, Seed: 1001,
+			LeafFractions: []float64{0.64, 0.36}},
+		{Name: "Run1_Z2", FinestN: run1N, Levels: 2, UnitBlock: ub1, Seed: 1001,
+			LeafFractions: []float64{0.63, 0.37}},
+		{Name: "Run2_T2", FinestN: run2T2, Levels: 2, UnitBlock: ub2, Seed: 2002,
+			LeafFractions: []float64{0.002, 0.998}},
+		{Name: "Run2_T3", FinestN: run2T3, Levels: 3, UnitBlock: ub2, Seed: 2002,
+			LeafFractions: []float64{0.0002, 0.0056, 0.9942}},
+		{Name: "Run2_T4", FinestN: run2T4, Levels: 4, UnitBlock: ub2, Seed: 2002,
+			LeafFractions: []float64{0.00003, 0.0002, 0.022, 0.9777}},
+	}
+	for i := range specs {
+		if err := specs[i].withDefaults().validate(); err != nil {
+			return nil, fmt.Errorf("sim: catalog spec %s: %w", specs[i].Name, err)
+		}
+	}
+	return specs, nil
+}
+
+// SpecByName returns the catalog spec with the given name at the given
+// scale.
+func SpecByName(name string, scale int) (Spec, error) {
+	specs, err := Catalog(scale)
+	if err != nil {
+		return Spec{}, err
+	}
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("sim: no dataset %q in catalog", name)
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+)
+
+// Field names the physical quantities a Nyx snapshot carries (Sec. 4.1 of
+// the paper: baryon density, dark matter density, temperature, and the
+// three velocity components).
+type Field string
+
+// The six Nyx fields.
+const (
+	BaryonDensity     Field = "baryon_density"
+	DarkMatterDensity Field = "dark_matter_density"
+	Temperature       Field = "temperature"
+	VelocityX         Field = "velocity_x"
+	VelocityY         Field = "velocity_y"
+	VelocityZ         Field = "velocity_z"
+)
+
+// Fields lists all supported fields.
+func Fields() []Field {
+	return []Field{BaryonDensity, DarkMatterDensity, Temperature, VelocityX, VelocityY, VelocityZ}
+}
+
+// fieldSeedOffset decorrelates the per-field random streams while keeping a
+// dataset's fields generated from related large-scale structure.
+func fieldSeedOffset(f Field) int64 {
+	switch f {
+	case BaryonDensity:
+		return 0
+	case DarkMatterDensity:
+		return 0 // same structure as baryons, different transform
+	case Temperature:
+		return 1
+	case VelocityX:
+		return 2
+	case VelocityY:
+		return 3
+	case VelocityZ:
+		return 4
+	default:
+		panic(fmt.Sprintf("sim: unknown field %q", f))
+	}
+}
+
+// synthesize converts a unit-variance GRF into the physical field. The
+// transforms are chosen so value ranges and tail behaviour resemble Nyx:
+// densities are log-normal with means near 10¹¹ (Nyx baryon density is
+// quoted in M☉/Mpc³-scale units, which is why the paper's absolute error
+// bounds are 10⁸–10¹⁰), temperature is a milder log-normal around 10⁴ K,
+// and velocities are Gaussian at ±10⁷ cm/s scale.
+func synthesize(f Field, g *grid.Grid3[float64]) *grid.Grid3[float64] {
+	out := grid.New[float64](g.Dim)
+	switch f {
+	case BaryonDensity:
+		const mean, sigma = 1e11, 1.9
+		for i, v := range g.Data {
+			out.Data[i] = mean * math.Exp(sigma*v-sigma*sigma/2)
+		}
+	case DarkMatterDensity:
+		const mean, sigma = 5e11, 2.1
+		for i, v := range g.Data {
+			out.Data[i] = mean * math.Exp(sigma*v-sigma*sigma/2)
+		}
+	case Temperature:
+		const mean, sigma = 1e4, 0.8
+		for i, v := range g.Data {
+			out.Data[i] = mean * math.Exp(sigma*v-sigma*sigma/2)
+		}
+	case VelocityX, VelocityY, VelocityZ:
+		const scale = 1e7
+		for i, v := range g.Data {
+			out.Data[i] = scale * v
+		}
+	default:
+		panic(fmt.Sprintf("sim: unknown field %q", f))
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+// Package sim synthesizes Nyx-like cosmology AMR snapshots. It substitutes
+// for the proprietary LANL Nyx runs the paper evaluates on (Table 1): a
+// Gaussian random field with a power-law spectrum is transformed into a
+// heavy-tailed log-normal density field, and a value-threshold refinement
+// criterion (refine a block when its maximum exceeds a threshold, as in the
+// paper's Sec. 2.2) carves it into tree-structured AMR levels whose
+// per-level densities match the paper's datasets.
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/fft"
+	"repro/internal/grid"
+)
+
+// GRFOptions parameterizes a Gaussian random field.
+type GRFOptions struct {
+	// N is the cube edge (power of two).
+	N int
+	// SpectralIndex is the exponent of the power spectrum P(k) ∝ k^Index ·
+	// exp(−(k/Cutoff)²). Cosmological matter at these scales has a falling
+	// spectrum; −2.5 gives convincingly clumpy fields.
+	SpectralIndex float64
+	// Cutoff is the Gaussian damping scale in frequency units; 0 means
+	// N/4.
+	Cutoff float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GaussianRandomField returns a zero-mean, unit-variance real field with
+// the requested spectrum: white noise is generated in real space,
+// transformed, shaped by √P(k), and transformed back. Filtering white
+// noise guarantees the result is real without Hermitian bookkeeping.
+func GaussianRandomField(opts GRFOptions) *grid.Grid3[float64] {
+	n := opts.N
+	if !fft.IsPow2(n) {
+		panic("sim: GRF size must be a power of two")
+	}
+	cutoff := opts.Cutoff
+	if cutoff == 0 {
+		cutoff = float64(n) / 12
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	c := fft.NewGrid3C(n)
+	for i := range c.Data {
+		c.Data[i] = complex(rng.NormFloat64(), 0)
+	}
+	fft.Forward3(c)
+	for x := 0; x < n; x++ {
+		fx := float64(fft.FreqIndex(x, n))
+		for y := 0; y < n; y++ {
+			fy := float64(fft.FreqIndex(y, n))
+			base := (x*n + y) * n
+			for z := 0; z < n; z++ {
+				fz := float64(fft.FreqIndex(z, n))
+				k2 := fx*fx + fy*fy + fz*fz
+				if k2 == 0 {
+					c.Data[base+z] = 0 // remove the mean mode
+					continue
+				}
+				k := math.Sqrt(k2)
+				amp := math.Pow(k, opts.SpectralIndex/2) * math.Exp(-k2/(2*cutoff*cutoff))
+				c.Data[base+z] *= complex(amp, 0)
+			}
+		}
+	}
+	fft.Inverse3(c)
+	out := grid.NewCube[float64](n)
+	for i, v := range c.Data {
+		out.Data[i] = real(v)
+	}
+	normalize(out)
+	return out
+}
+
+// normalize rescales the field in place to zero mean and unit variance.
+func normalize(g *grid.Grid3[float64]) {
+	var sum, sum2 float64
+	for _, v := range g.Data {
+		sum += v
+	}
+	mean := sum / float64(len(g.Data))
+	for _, v := range g.Data {
+		d := v - mean
+		sum2 += d * d
+	}
+	std := math.Sqrt(sum2 / float64(len(g.Data)))
+	if std == 0 {
+		std = 1
+	}
+	inv := 1 / std
+	for i, v := range g.Data {
+		g.Data[i] = (v - mean) * inv
+	}
+}

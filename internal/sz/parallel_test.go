@@ -1,0 +1,155 @@
+package sz
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func randomBlocks(n int, d grid.Dims, seed int64) []*grid.Grid3[float32] {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*grid.Grid3[float32], n)
+	for i := range out {
+		g := grid.New[float32](d)
+		for j := range g.Data {
+			g.Data[j] = float32(rng.NormFloat64()*50 + float64(i))
+		}
+		out[i] = g
+	}
+	return out
+}
+
+func TestParallelCompressMatchesSerial(t *testing.T) {
+	blocks := randomBlocks(13, grid.Dims{X: 6, Y: 6, Z: 6}, 1)
+	opts := Options{ErrorBound: 0.1}
+	serial, sSt, err := CompressBlocks(blocks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		par, pSt, err := CompressBlocksParallel(blocks, opts, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(serial, par) {
+			t.Fatalf("workers=%d: parallel payload differs from serial", workers)
+		}
+		if pSt.Literals != sSt.Literals || pSt.N != sSt.N {
+			t.Fatalf("workers=%d: stats differ: %+v vs %+v", workers, pSt, sSt)
+		}
+	}
+}
+
+func TestParallelCompressSingleBlockFallsBack(t *testing.T) {
+	blocks := randomBlocks(1, grid.Dims{X: 4, Y: 4, Z: 4}, 2)
+	serial, _, err := CompressBlocks(blocks, Options{ErrorBound: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := CompressBlocksParallel(blocks, Options{ErrorBound: 0.5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial, par) {
+		t.Fatal("single-block parallel differs from serial")
+	}
+}
+
+func TestParallelDecompressMatchesSerial(t *testing.T) {
+	blocks := randomBlocks(9, grid.Dims{X: 5, Y: 7, Z: 4}, 3)
+	blob, _, err := CompressBlocks(blocks, Options{ErrorBound: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := DecompressBlocks[float32](blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := DecompressBlocksParallel[float32](blob, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(serial) {
+		t.Fatalf("block counts %d vs %d", len(par), len(serial))
+	}
+	for i := range serial {
+		if grid.MaxAbsDiff(serial[i], par[i]) != 0 {
+			t.Fatalf("block %d differs between serial and parallel decode", i)
+		}
+	}
+}
+
+func TestParallelRoundTripWithLiterals(t *testing.T) {
+	// Adversarial blocks force literal fallbacks; the literal-pool offset
+	// computation must split them correctly across goroutines.
+	blocks := randomBlocks(6, grid.Dims{X: 4, Y: 4, Z: 4}, 4)
+	for i, b := range blocks {
+		for j := range b.Data {
+			if (i+j)%3 == 0 {
+				b.Data[j] = 1e30 // far outside the quantization range
+			}
+		}
+	}
+	eb := 1e-3
+	blob, st, err := CompressBlocksParallel(blocks, Options{ErrorBound: eb}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Literals == 0 {
+		t.Fatal("expected literals in adversarial batch")
+	}
+	got, err := DecompressBlocksParallel[float32](blob, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range blocks {
+		if mad := grid.MaxAbsDiff(blocks[i], got[i]); mad > eb*(1+1e-9) {
+			t.Fatalf("block %d error %v exceeds bound", i, mad)
+		}
+	}
+}
+
+func TestParallelRelativeMode(t *testing.T) {
+	blocks := randomBlocks(5, grid.Dims{X: 6, Y: 6, Z: 6}, 5)
+	serial, sSt, err := CompressBlocks(blocks, Options{ErrorBound: 1e-3, Mode: Rel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, pSt, err := CompressBlocksParallel(blocks, Options{ErrorBound: 1e-3, Mode: Rel}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sSt.EffectiveEB != pSt.EffectiveEB {
+		t.Fatalf("effective bounds differ: %v vs %v", sSt.EffectiveEB, pSt.EffectiveEB)
+	}
+	if !bytes.Equal(serial, par) {
+		t.Fatal("relative-mode parallel payload differs")
+	}
+}
+
+func TestParallelRejectsEmptyAndMixed(t *testing.T) {
+	if _, _, err := CompressBlocksParallel[float32](nil, Options{ErrorBound: 1}, 2); err == nil {
+		t.Fatal("empty batch should error")
+	}
+	a := grid.New[float32](grid.Dims{X: 2, Y: 2, Z: 2})
+	b := grid.New[float32](grid.Dims{X: 2, Y: 2, Z: 4})
+	if _, _, err := CompressBlocksParallel([]*grid.Grid3[float32]{a, b}, Options{ErrorBound: 1}, 2); err == nil {
+		t.Fatal("mixed shapes should error")
+	}
+}
+
+func TestParallelDecompressRejectsCorrupt(t *testing.T) {
+	blocks := randomBlocks(4, grid.Dims{X: 4, Y: 4, Z: 4}, 6)
+	blob, _, err := CompressBlocks(blocks, Options{ErrorBound: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecompressBlocksParallel[float32](blob[:len(blob)/2], 2); err == nil {
+		t.Fatal("truncated payload should error")
+	}
+	if _, err := DecompressBlocksParallel[float32](nil, 2); err == nil {
+		t.Fatal("nil payload should error")
+	}
+}

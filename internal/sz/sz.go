@@ -1,0 +1,640 @@
+// Package sz implements a prediction-based error-bounded lossy compressor
+// for floating-point scientific data, modeled on SZ (Di & Cappello 2016;
+// Tao et al. 2017), the compressor the TAC paper builds on.
+//
+// The pipeline follows the three steps the paper describes in Sec. 2.1:
+//
+//  1. predict each value from its already-reconstructed neighbors using a
+//     Lorenzo predictor (order-1 in 1D, the 7-neighbor cube corner stencil
+//     in 3D);
+//  2. quantize the prediction residual into 2^QuantBits linear bins scaled
+//     by the error bound, reconstructing on the fly so the decompressor
+//     sees exactly the same neighborhood; values whose quantized
+//     reconstruction would violate the bound are stored as exact literals;
+//  3. entropy-code the quantization bins with canonical Huffman and pass
+//     the result (and the literal pool) through DEFLATE.
+//
+// The absolute reconstruction error of every value is guaranteed to be at
+// most the (effective) error bound; literals are exact.
+package sz
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/grid"
+	"repro/internal/huffman"
+)
+
+// Mode selects how Options.ErrorBound is interpreted.
+type Mode uint8
+
+const (
+	// Abs interprets ErrorBound as a point-wise absolute error bound.
+	Abs Mode = iota
+	// Rel interprets ErrorBound as a point-wise value-range-relative error
+	// bound: the effective absolute bound is ErrorBound × (max−min).
+	Rel
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Abs:
+		return "abs"
+	case Rel:
+		return "rel"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Options configures a compression run.
+type Options struct {
+	// ErrorBound is the user error bound; interpretation depends on Mode.
+	// Must be > 0.
+	ErrorBound float64
+	// Mode selects absolute or value-range-relative bounding. Default Abs.
+	Mode Mode
+	// QuantBits sets the quantization code width; the bin radius is
+	// 2^(QuantBits-1). Default 16, matching SZ's default 65536 bins.
+	QuantBits int
+	// DisableLossless skips the DEFLATE stage (useful for isolating the
+	// prediction/quantization behaviour in tests and ablations).
+	DisableLossless bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.QuantBits == 0 {
+		o.QuantBits = 16
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if !(o.ErrorBound > 0) {
+		return fmt.Errorf("sz: error bound must be positive, got %v", o.ErrorBound)
+	}
+	if o.QuantBits < 2 || o.QuantBits > 30 {
+		return fmt.Errorf("sz: QuantBits must be in [2,30], got %d", o.QuantBits)
+	}
+	return nil
+}
+
+// Stats reports per-stream compression details.
+type Stats struct {
+	N             int     // number of values
+	EffectiveEB   float64 // absolute bound actually applied
+	Literals      int     // values stored exactly (unpredictable)
+	CompressedLen int     // total payload bytes
+}
+
+// Ratio returns the compression ratio against 4-byte single-precision
+// storage, the accounting the paper uses for Nyx data.
+func (s Stats) Ratio() float64 {
+	if s.CompressedLen == 0 {
+		return 0
+	}
+	return float64(4*s.N) / float64(s.CompressedLen)
+}
+
+const (
+	magic      = 0x535a4752 // "SZGR"
+	version    = 1
+	kindRaw1D  = 1
+	kindGrid3D = 2
+	kindBatch  = 3
+)
+
+// Compress1D compresses values as a 1D stream with an order-1 predictor
+// (each value predicted by its reconstructed predecessor). This is the
+// compressor the 1D baseline and zMesh use.
+func Compress1D[T grid.Float](values []T, opts Options) ([]byte, Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	eb := effectiveEB(values, opts)
+	q := newQuantizer[T](eb, opts.QuantBits)
+	var prev T
+	for i, v := range values {
+		pred := prev
+		if i == 0 {
+			pred = 0
+		}
+		prev = q.encode(v, pred)
+	}
+	return seal(kindRaw1D, nil, len(values), eb, opts, q)
+}
+
+// Decompress1D inverts Compress1D.
+func Decompress1D[T grid.Float](blob []byte) ([]T, error) {
+	hdr, codes, lits, err := unseal(blob, kindRaw1D)
+	if err != nil {
+		return nil, err
+	}
+	dq, err := newDequantizer[T](hdr, codes, lits)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, hdr.n)
+	var prev T
+	for i := range out {
+		pred := prev
+		if i == 0 {
+			pred = 0
+		}
+		v, err := dq.decode(pred)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+		prev = v
+	}
+	return out, nil
+}
+
+// Compress3D compresses a dense 3D grid with the 3D Lorenzo predictor.
+func Compress3D[T grid.Float](g *grid.Grid3[T], opts Options) ([]byte, Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	eb := effectiveEB(g.Data, opts)
+	q := newQuantizer[T](eb, opts.QuantBits)
+	recon := grid.New[T](g.Dim)
+	encodeLorenzo3(g, recon, q)
+	return seal(kindGrid3D, []grid.Dims{g.Dim}, len(g.Data), eb, opts, q)
+}
+
+// Decompress3D inverts Compress3D.
+func Decompress3D[T grid.Float](blob []byte) (*grid.Grid3[T], error) {
+	hdr, codes, lits, err := unseal(blob, kindGrid3D)
+	if err != nil {
+		return nil, err
+	}
+	if len(hdr.dims) != 1 {
+		return nil, fmt.Errorf("sz: 3D payload with %d dim records", len(hdr.dims))
+	}
+	dq, err := newDequantizer[T](hdr, codes, lits)
+	if err != nil {
+		return nil, err
+	}
+	out := grid.New[T](hdr.dims[0])
+	if err := decodeLorenzo3(out, dq); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CompressBlocks compresses a batch of equally-shaped 3D blocks as one
+// stream: each block is Lorenzo-predicted independently (no cross-block
+// leakage), but all blocks share a single quantization-code stream and
+// Huffman codebook. This is how TAC compresses the "4D arrays" that OpST
+// and AKDTree produce (Sec. 3.1: sub-blocks of the same size are merged
+// into the same array for easy compression).
+func CompressBlocks[T grid.Float](blocks []*grid.Grid3[T], opts Options) ([]byte, Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if len(blocks) == 0 {
+		return nil, Stats{}, errors.New("sz: empty block batch")
+	}
+	d := blocks[0].Dim
+	total := 0
+	for i, b := range blocks {
+		if b.Dim != d {
+			return nil, Stats{}, fmt.Errorf("sz: block %d dims %v differ from %v", i, b.Dim, d)
+		}
+		total += len(b.Data)
+	}
+	// The relative bound is computed over the union of all blocks so that
+	// every block sees the same effective absolute bound.
+	eb := opts.ErrorBound
+	if opts.Mode == Rel {
+		lo, hi := rangeOfBlocks(blocks)
+		eb = relToAbs(opts.ErrorBound, lo, hi)
+	}
+	q := newQuantizer[T](eb, opts.QuantBits)
+	recon := grid.New[T](d)
+	for _, b := range blocks {
+		for i := range recon.Data {
+			recon.Data[i] = 0
+		}
+		encodeLorenzo3(b, recon, q)
+	}
+	dims := []grid.Dims{d, {X: len(blocks)}} // block count rides in a dims record
+	return seal(kindBatch, dims, total, eb, opts, q)
+}
+
+// DecompressBlocks inverts CompressBlocks.
+func DecompressBlocks[T grid.Float](blob []byte) ([]*grid.Grid3[T], error) {
+	hdr, codes, lits, err := unseal(blob, kindBatch)
+	if err != nil {
+		return nil, err
+	}
+	if len(hdr.dims) != 2 {
+		return nil, fmt.Errorf("sz: batch payload with %d dim records", len(hdr.dims))
+	}
+	d, count := hdr.dims[0], hdr.dims[1].X
+	if count <= 0 || d.Count()*count != hdr.n {
+		return nil, fmt.Errorf("sz: batch geometry %v × %d does not cover %d values", d, count, hdr.n)
+	}
+	dq, err := newDequantizer[T](hdr, codes, lits)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*grid.Grid3[T], count)
+	for i := range out {
+		g := grid.New[T](d)
+		if err := decodeLorenzo3(g, dq); err != nil {
+			return nil, err
+		}
+		out[i] = g
+	}
+	return out, nil
+}
+
+// effectiveEB resolves the options to an absolute error bound for values.
+func effectiveEB[T grid.Float](values []T, opts Options) float64 {
+	if opts.Mode != Rel {
+		return opts.ErrorBound
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		f := float64(v)
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	return relToAbs(opts.ErrorBound, lo, hi)
+}
+
+func relToAbs(rel, lo, hi float64) float64 {
+	r := hi - lo
+	if !(r > 0) {
+		// Constant (or empty) data: any positive bound preserves it; pick
+		// the raw value so the header still records something meaningful.
+		return rel
+	}
+	return rel * r
+}
+
+// encodeLorenzo3 runs the 3D Lorenzo predictor over src, writing the
+// reconstruction into recon (same dims) and the codes into q.
+func encodeLorenzo3[T grid.Float](src, recon *grid.Grid3[T], q *quantizer[T]) {
+	d := src.Dim
+	sy := d.Z
+	sx := d.Y * d.Z
+	for x := 0; x < d.X; x++ {
+		for y := 0; y < d.Y; y++ {
+			base := d.Index(x, y, 0)
+			for z := 0; z < d.Z; z++ {
+				i := base + z
+				pred := lorenzoPred(recon.Data, i, x, y, z, sx, sy)
+				recon.Data[i] = q.encode(src.Data[i], pred)
+			}
+		}
+	}
+}
+
+// decodeLorenzo3 reconstructs a grid from the dequantizer stream.
+func decodeLorenzo3[T grid.Float](out *grid.Grid3[T], dq *dequantizer[T]) error {
+	d := out.Dim
+	sy := d.Z
+	sx := d.Y * d.Z
+	for x := 0; x < d.X; x++ {
+		for y := 0; y < d.Y; y++ {
+			base := d.Index(x, y, 0)
+			for z := 0; z < d.Z; z++ {
+				i := base + z
+				pred := lorenzoPred(out.Data, i, x, y, z, sx, sy)
+				v, err := dq.decode(pred)
+				if err != nil {
+					return err
+				}
+				out.Data[i] = v
+			}
+		}
+	}
+	return nil
+}
+
+// lorenzoPred computes the order-1 3D Lorenzo prediction from the seven
+// already-visited cube-corner neighbors, treating out-of-grid neighbors as
+// zero (standard SZ boundary handling).
+func lorenzoPred[T grid.Float](data []T, i, x, y, z, sx, sy int) T {
+	var fx, fy, fz, fxy, fxz, fyz, fxyz T
+	if x > 0 {
+		fx = data[i-sx]
+	}
+	if y > 0 {
+		fy = data[i-sy]
+	}
+	if z > 0 {
+		fz = data[i-1]
+	}
+	if x > 0 && y > 0 {
+		fxy = data[i-sx-sy]
+	}
+	if x > 0 && z > 0 {
+		fxz = data[i-sx-1]
+	}
+	if y > 0 && z > 0 {
+		fyz = data[i-sy-1]
+	}
+	if x > 0 && y > 0 && z > 0 {
+		fxyz = data[i-sx-sy-1]
+	}
+	return fx + fy + fz - fxy - fxz - fyz + fxyz
+}
+
+// quantizer turns (value, prediction) pairs into quantization codes plus a
+// literal pool, reconstructing each value as it goes.
+type quantizer[T grid.Float] struct {
+	eb     float64
+	twoEB  float64
+	radius int64
+	codes  []uint32
+	lits   []byte
+	nlit   int
+}
+
+func newQuantizer[T grid.Float](eb float64, quantBits int) *quantizer[T] {
+	return &quantizer[T]{
+		eb:     eb,
+		twoEB:  2 * eb,
+		radius: int64(1) << (quantBits - 1),
+	}
+}
+
+// encode emits the code for v given prediction pred and returns the
+// reconstructed value the decompressor will produce.
+func (q *quantizer[T]) encode(v, pred T) T {
+	diff := float64(v) - float64(pred)
+	qv := math.Round(diff / q.twoEB)
+	// Range-check before the int conversion: conversions of out-of-range
+	// floats to int64 are implementation-dependent in Go.
+	if math.Abs(qv) < float64(q.radius) {
+		iq := int64(qv)
+		recon := T(float64(pred) + q.twoEB*qv)
+		if math.Abs(float64(v)-float64(recon)) <= q.eb {
+			q.codes = append(q.codes, uint32(iq+q.radius))
+			return recon
+		}
+	}
+	// Unpredictable: code 0 marks a literal stored exactly.
+	q.codes = append(q.codes, 0)
+	q.lits = appendLiteral(q.lits, v)
+	q.nlit++
+	return v
+}
+
+// dequantizer replays a code stream plus literal pool.
+type dequantizer[T grid.Float] struct {
+	twoEB  float64
+	radius int64
+	codes  []uint32
+	lits   []byte
+	ci     int
+}
+
+func newDequantizer[T grid.Float](hdr header, codes []uint32, lits []byte) (*dequantizer[T], error) {
+	if len(codes) != hdr.n {
+		return nil, fmt.Errorf("sz: %d codes for %d values", len(codes), hdr.n)
+	}
+	return &dequantizer[T]{
+		twoEB:  2 * hdr.eb,
+		radius: int64(1) << (hdr.quantBits - 1),
+		codes:  codes,
+		lits:   lits,
+	}, nil
+}
+
+func (d *dequantizer[T]) decode(pred T) (T, error) {
+	if d.ci >= len(d.codes) {
+		return 0, errors.New("sz: code stream exhausted")
+	}
+	c := d.codes[d.ci]
+	d.ci++
+	if c == 0 {
+		v, rest, err := takeLiteral[T](d.lits)
+		if err != nil {
+			return 0, err
+		}
+		d.lits = rest
+		return v, nil
+	}
+	qv := int64(c) - d.radius
+	return T(float64(pred) + d.twoEB*float64(qv)), nil
+}
+
+// appendLiteral stores the exact bit pattern of v.
+func appendLiteral[T grid.Float](dst []byte, v T) []byte {
+	switch x := any(v).(type) {
+	case float32:
+		b := math.Float32bits(x)
+		return append(dst, byte(b), byte(b>>8), byte(b>>16), byte(b>>24))
+	case float64:
+		b := math.Float64bits(x)
+		return append(dst, byte(b), byte(b>>8), byte(b>>16), byte(b>>24),
+			byte(b>>32), byte(b>>40), byte(b>>48), byte(b>>56))
+	default:
+		panic("sz: unsupported float type")
+	}
+}
+
+func takeLiteral[T grid.Float](src []byte) (T, []byte, error) {
+	var zero T
+	switch any(zero).(type) {
+	case float32:
+		if len(src) < 4 {
+			return 0, nil, errors.New("sz: literal pool exhausted")
+		}
+		b := uint32(src[0]) | uint32(src[1])<<8 | uint32(src[2])<<16 | uint32(src[3])<<24
+		return T(math.Float32frombits(b)), src[4:], nil
+	case float64:
+		if len(src) < 8 {
+			return 0, nil, errors.New("sz: literal pool exhausted")
+		}
+		b := uint64(src[0]) | uint64(src[1])<<8 | uint64(src[2])<<16 | uint64(src[3])<<24 |
+			uint64(src[4])<<32 | uint64(src[5])<<40 | uint64(src[6])<<48 | uint64(src[7])<<56
+		return T(math.Float64frombits(b)), src[8:], nil
+	default:
+		panic("sz: unsupported float type")
+	}
+}
+
+// header is the decoded payload header.
+type header struct {
+	kind      int
+	n         int
+	eb        float64
+	quantBits int
+	lossless  bool
+	dims      []grid.Dims
+}
+
+// seal assembles the final payload from the quantizer state.
+func seal[T grid.Float](kind int, dims []grid.Dims, n int, eb float64, opts Options, q *quantizer[T]) ([]byte, Stats, error) {
+	var hdr []byte
+	hdr = bitio.AppendUvarint(hdr, magic)
+	hdr = bitio.AppendUvarint(hdr, version)
+	hdr = bitio.AppendUvarint(hdr, uint64(kind))
+	hdr = bitio.AppendUvarint(hdr, uint64(n))
+	hdr = bitio.AppendUvarint(hdr, math.Float64bits(eb))
+	hdr = bitio.AppendUvarint(hdr, uint64(opts.QuantBits))
+	lossless := uint64(1)
+	if opts.DisableLossless {
+		lossless = 0
+	}
+	hdr = bitio.AppendUvarint(hdr, lossless)
+	hdr = bitio.AppendUvarint(hdr, uint64(len(dims)))
+	for _, d := range dims {
+		hdr = bitio.AppendUvarint(hdr, uint64(d.X))
+		hdr = bitio.AppendUvarint(hdr, uint64(d.Y))
+		hdr = bitio.AppendUvarint(hdr, uint64(d.Z))
+	}
+
+	huff := huffman.Encode(q.codes)
+	lits := q.lits
+	if !opts.DisableLossless {
+		var err error
+		if huff, err = deflate(huff); err != nil {
+			return nil, Stats{}, err
+		}
+		if lits, err = deflate(lits); err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	out := make([]byte, 0, len(hdr)+len(huff)+len(lits)+16)
+	out = append(out, hdr...)
+	out = bitio.AppendBytes(out, huff)
+	out = bitio.AppendBytes(out, lits)
+	return out, Stats{N: n, EffectiveEB: eb, Literals: q.nlit, CompressedLen: len(out)}, nil
+}
+
+// unseal parses a payload and returns the header, code stream and literal
+// pool.
+func unseal(blob []byte, wantKind int) (header, []uint32, []byte, error) {
+	var h header
+	u := func() (uint64, error) {
+		v, k, err := bitio.Uvarint(blob)
+		if err != nil {
+			return 0, err
+		}
+		blob = blob[k:]
+		return v, nil
+	}
+	m, err := u()
+	if err != nil || m != magic {
+		return h, nil, nil, fmt.Errorf("sz: bad magic")
+	}
+	ver, err := u()
+	if err != nil || ver != version {
+		return h, nil, nil, fmt.Errorf("sz: unsupported version")
+	}
+	kind, err := u()
+	if err != nil {
+		return h, nil, nil, err
+	}
+	h.kind = int(kind)
+	if h.kind != wantKind {
+		return h, nil, nil, fmt.Errorf("sz: payload kind %d, want %d", h.kind, wantKind)
+	}
+	n, err := u()
+	if err != nil {
+		return h, nil, nil, err
+	}
+	h.n = int(n)
+	ebBits, err := u()
+	if err != nil {
+		return h, nil, nil, err
+	}
+	h.eb = math.Float64frombits(ebBits)
+	qb, err := u()
+	if err != nil {
+		return h, nil, nil, err
+	}
+	h.quantBits = int(qb)
+	if h.quantBits < 2 || h.quantBits > 30 {
+		return h, nil, nil, fmt.Errorf("sz: corrupt quantBits %d", h.quantBits)
+	}
+	ll, err := u()
+	if err != nil {
+		return h, nil, nil, err
+	}
+	h.lossless = ll == 1
+	nd, err := u()
+	if err != nil {
+		return h, nil, nil, err
+	}
+	for i := uint64(0); i < nd; i++ {
+		var d grid.Dims
+		for _, p := range []*int{&d.X, &d.Y, &d.Z} {
+			v, err := u()
+			if err != nil {
+				return h, nil, nil, err
+			}
+			*p = int(v)
+		}
+		h.dims = append(h.dims, d)
+	}
+
+	huff, k, err := bitio.Bytes(blob)
+	if err != nil {
+		return h, nil, nil, fmt.Errorf("sz: reading code section: %w", err)
+	}
+	blob = blob[k:]
+	lits, _, err := bitio.Bytes(blob)
+	if err != nil {
+		return h, nil, nil, fmt.Errorf("sz: reading literal section: %w", err)
+	}
+	if h.lossless {
+		if huff, err = inflate(huff); err != nil {
+			return h, nil, nil, err
+		}
+		if lits, err = inflate(lits); err != nil {
+			return h, nil, nil, err
+		}
+	}
+	codes, err := huffman.Decode(huff)
+	if err != nil {
+		return h, nil, nil, err
+	}
+	return h, codes, lits, nil
+}
+
+func deflate(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(data); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func inflate(data []byte) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(data))
+	defer fr.Close()
+	out, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, fmt.Errorf("sz: inflating section: %w", err)
+	}
+	return out, nil
+}

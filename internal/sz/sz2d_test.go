@@ -1,0 +1,151 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func smooth2D(nx, ny int) []float32 {
+	out := make([]float32, nx*ny)
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			out[x*ny+y] = float32(50*math.Sin(float64(x)/9)*math.Cos(float64(y)/7) + float64(x))
+		}
+	}
+	return out
+}
+
+func TestRoundTrip2DWithinBound(t *testing.T) {
+	nx, ny := 40, 28
+	vals := smooth2D(nx, ny)
+	eb := 0.01
+	blob, st, err := Compress2D(vals, nx, ny, Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gx, gy, err := Decompress2D[float32](blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gx != nx || gy != ny {
+		t.Fatalf("dims %dx%d, want %dx%d", gx, gy, nx, ny)
+	}
+	for i := range vals {
+		if d := math.Abs(float64(vals[i]) - float64(got[i])); d > eb*(1+1e-9) {
+			t.Fatalf("value %d error %v exceeds bound", i, d)
+		}
+	}
+	if st.Ratio() < 3 {
+		t.Fatalf("smooth 2D field compressed only %.1fx", st.Ratio())
+	}
+}
+
+func TestCompress2DRejectsBadGeometry(t *testing.T) {
+	vals := make([]float32, 12)
+	if _, _, err := Compress2D(vals, 3, 5, Options{ErrorBound: 1}); err == nil {
+		t.Fatal("3×5 ≠ 12 should be rejected")
+	}
+	if _, _, err := Compress2D(vals, 0, 12, Options{ErrorBound: 1}); err == nil {
+		t.Fatal("zero dim should be rejected")
+	}
+}
+
+func TestCompress2DNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	nx, ny := 32, 32
+	vals := make([]float32, nx*ny)
+	for i := range vals {
+		vals[i] = float32(rng.NormFloat64() * 1e5)
+	}
+	eb := 10.0
+	blob, _, err := Compress2D(vals, nx, ny, Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := Decompress2D[float32](blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if d := math.Abs(float64(vals[i]) - float64(got[i])); d > eb*(1+1e-9) {
+			t.Fatalf("value %d error %v exceeds bound", i, d)
+		}
+	}
+}
+
+func TestSlicesRoundTrip(t *testing.T) {
+	g := smoothGrid(grid.Dims{X: 16, Y: 12, Z: 10})
+	eb := 0.05
+	blob, st, err := CompressSlices(g, Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != g.Dim.Count() {
+		t.Fatalf("stats N %d, want %d", st.N, g.Dim.Count())
+	}
+	got, err := DecompressSlices[float32](blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim != g.Dim {
+		t.Fatalf("dims %v, want %v", got.Dim, g.Dim)
+	}
+	if mad := grid.MaxAbsDiff(g, got); mad > eb*(1+1e-9) {
+		t.Fatalf("max abs diff %v exceeds bound", mad)
+	}
+}
+
+func TestSlicesRelativeMode(t *testing.T) {
+	g := smoothGrid(grid.Dims{X: 8, Y: 8, Z: 8})
+	rel := 1e-3
+	blob, st, err := CompressSlices(g, Options{ErrorBound: rel, Mode: Rel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressSlices[float32](blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mad := grid.MaxAbsDiff(g, got); mad > st.EffectiveEB*(1+1e-6) {
+		t.Fatalf("max abs diff %v exceeds effective bound %v", mad, st.EffectiveEB)
+	}
+}
+
+func TestDimensionalityOrdering(t *testing.T) {
+	// The Sec. 2.3 premise: on a smooth 3D field at the same bound,
+	// higher-dimensional prediction compresses smaller.
+	g := smoothGrid(grid.Dims{X: 32, Y: 32, Z: 32})
+	opts := Options{ErrorBound: 0.01}
+	b1, _, err := Compress1D(g.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, err := CompressSlices(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, _, err := Compress3D(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(len(b3) < len(b2) && len(b2) < len(b1)) {
+		t.Fatalf("expected 3D < 2D < 1D, got %d / %d / %d bytes", len(b3), len(b2), len(b1))
+	}
+}
+
+func TestKind2DMismatch(t *testing.T) {
+	vals := smooth2D(8, 8)
+	blob, _, err := Compress2D(vals, 8, 8, Options{ErrorBound: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress3D[float32](blob); err == nil {
+		t.Fatal("2D payload must not decode as 3D")
+	}
+	if _, err := Decompress1D[float32](blob); err == nil {
+		t.Fatal("2D payload must not decode as 1D")
+	}
+}

@@ -1,0 +1,352 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+// smoothGrid builds a smooth 3D field: the kind SZ predicts well.
+func smoothGrid(d grid.Dims) *grid.Grid3[float32] {
+	g := grid.New[float32](d)
+	for x := 0; x < d.X; x++ {
+		for y := 0; y < d.Y; y++ {
+			for z := 0; z < d.Z; z++ {
+				v := math.Sin(float64(x)/7) * math.Cos(float64(y)/5) * math.Sin(float64(z)/9)
+				g.Set(x, y, z, float32(100*v+float64(x+y+z)))
+			}
+		}
+	}
+	return g
+}
+
+func noisyValues(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(rng.NormFloat64() * 1e6)
+	}
+	return out
+}
+
+func TestRoundTrip1DWithinBound(t *testing.T) {
+	vals := noisyValues(10000, 1)
+	for _, eb := range []float64{1, 100, 1e4} {
+		blob, st, err := Compress1D(vals, Options{ErrorBound: eb})
+		if err != nil {
+			t.Fatalf("eb=%v: %v", eb, err)
+		}
+		got, err := Decompress1D[float32](blob)
+		if err != nil {
+			t.Fatalf("eb=%v decompress: %v", eb, err)
+		}
+		if len(got) != len(vals) {
+			t.Fatalf("eb=%v: got %d values, want %d", eb, len(got), len(vals))
+		}
+		for i := range vals {
+			if d := math.Abs(float64(vals[i]) - float64(got[i])); d > eb*(1+1e-9) {
+				t.Fatalf("eb=%v: value %d error %v exceeds bound", eb, i, d)
+			}
+		}
+		if st.N != len(vals) {
+			t.Fatalf("stats N = %d", st.N)
+		}
+	}
+}
+
+func TestRoundTrip3DWithinBound(t *testing.T) {
+	g := smoothGrid(grid.Dims{X: 24, Y: 20, Z: 28})
+	eb := 0.01
+	blob, st, err := Compress3D(g, Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress3D[float32](blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim != g.Dim {
+		t.Fatalf("dims %v, want %v", got.Dim, g.Dim)
+	}
+	if mad := grid.MaxAbsDiff(g, got); mad > eb*(1+1e-9) {
+		t.Fatalf("max abs diff %v exceeds bound %v", mad, eb)
+	}
+	if st.Ratio() < 4 {
+		t.Fatalf("smooth field compressed only %.1fx", st.Ratio())
+	}
+}
+
+func TestRelativeModeBound(t *testing.T) {
+	g := smoothGrid(grid.Dims{X: 16, Y: 16, Z: 16})
+	rel := 1e-3
+	blob, st, err := Compress3D(g, Options{ErrorBound: rel, Mode: Rel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := g.MinMax()
+	wantAbs := rel * (float64(hi) - float64(lo))
+	if math.Abs(st.EffectiveEB-wantAbs) > 1e-12*wantAbs {
+		t.Fatalf("effective eb %v, want %v", st.EffectiveEB, wantAbs)
+	}
+	got, err := Decompress3D[float32](blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mad := grid.MaxAbsDiff(g, got); mad > wantAbs*(1+1e-6) {
+		t.Fatalf("max abs diff %v exceeds relative bound %v", mad, wantAbs)
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	d := grid.Dims{X: 12, Y: 12, Z: 12}
+	g := grid.New[float64](d)
+	rng := rand.New(rand.NewSource(5))
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	eb := 1e-4
+	blob, _, err := Compress3D(g, Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress3D[float64](blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mad := grid.MaxAbsDiff(g, got); mad > eb*(1+1e-12) {
+		t.Fatalf("max abs diff %v exceeds bound", mad)
+	}
+}
+
+func TestBlocksRoundTrip(t *testing.T) {
+	d := grid.Dims{X: 8, Y: 8, Z: 8}
+	rng := rand.New(rand.NewSource(11))
+	var blocks []*grid.Grid3[float32]
+	for b := 0; b < 7; b++ {
+		g := grid.New[float32](d)
+		for i := range g.Data {
+			g.Data[i] = float32(rng.NormFloat64()*10 + float64(b)*100)
+		}
+		blocks = append(blocks, g)
+	}
+	eb := 0.05
+	blob, st, err := CompressBlocks(blocks, Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 7*d.Count() {
+		t.Fatalf("stats N = %d, want %d", st.N, 7*d.Count())
+	}
+	got, err := DecompressBlocks[float32](blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(blocks) {
+		t.Fatalf("got %d blocks, want %d", len(got), len(blocks))
+	}
+	for i := range blocks {
+		if mad := grid.MaxAbsDiff(blocks[i], got[i]); mad > eb*(1+1e-9) {
+			t.Fatalf("block %d max abs diff %v exceeds bound", i, mad)
+		}
+	}
+}
+
+func TestBlocksRejectMixedShapes(t *testing.T) {
+	a := grid.New[float32](grid.Dims{X: 4, Y: 4, Z: 4})
+	b := grid.New[float32](grid.Dims{X: 4, Y: 4, Z: 8})
+	if _, _, err := CompressBlocks([]*grid.Grid3[float32]{a, b}, Options{ErrorBound: 1}); err == nil {
+		t.Fatal("mixed shapes should be rejected")
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	g := grid.New[float32](grid.Dims{X: 2, Y: 2, Z: 2})
+	if _, _, err := Compress3D(g, Options{ErrorBound: 0}); err == nil {
+		t.Fatal("zero error bound should be rejected")
+	}
+	if _, _, err := Compress3D(g, Options{ErrorBound: -1}); err == nil {
+		t.Fatal("negative error bound should be rejected")
+	}
+	if _, _, err := Compress3D(g, Options{ErrorBound: 1, QuantBits: 1}); err == nil {
+		t.Fatal("QuantBits=1 should be rejected")
+	}
+}
+
+func TestKindMismatch(t *testing.T) {
+	vals := noisyValues(100, 2)
+	blob, _, err := Compress1D(vals, Options{ErrorBound: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress3D[float32](blob); err == nil {
+		t.Fatal("decoding a 1D payload as 3D should error")
+	}
+}
+
+func TestCorruptPayload(t *testing.T) {
+	g := smoothGrid(grid.Dims{X: 8, Y: 8, Z: 8})
+	blob, _, err := Compress3D(g, Options{ErrorBound: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress3D[float32](nil); err == nil {
+		t.Fatal("nil payload should error")
+	}
+	if _, err := Decompress3D[float32](blob[:len(blob)/2]); err == nil {
+		t.Fatal("truncated payload should error")
+	}
+	garbage := append([]byte{}, blob...)
+	garbage[0] ^= 0xff
+	if _, err := Decompress3D[float32](garbage); err == nil {
+		t.Fatal("bad magic should error")
+	}
+}
+
+func TestConstantField(t *testing.T) {
+	g := grid.New[float32](grid.Dims{X: 16, Y: 16, Z: 16})
+	g.Fill(42)
+	blob, st, err := Compress3D(g, Options{ErrorBound: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress3D[float32](blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mad := grid.MaxAbsDiff(g, got); mad > 1e-6 {
+		t.Fatalf("constant field error %v", mad)
+	}
+	if st.Ratio() < 50 {
+		t.Fatalf("constant field ratio only %.1f", st.Ratio())
+	}
+}
+
+func TestConstantFieldRelMode(t *testing.T) {
+	// Zero value range: rel mode must still terminate and round-trip.
+	g := grid.New[float32](grid.Dims{X: 4, Y: 4, Z: 4})
+	g.Fill(7)
+	blob, _, err := Compress3D(g, Options{ErrorBound: 1e-3, Mode: Rel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress3D[float32](blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mad := grid.MaxAbsDiff(g, got); mad > 1e-3 {
+		t.Fatalf("error %v", mad)
+	}
+}
+
+func TestSpikyDataStaysBounded(t *testing.T) {
+	// Huge dynamic range with spikes: bound must hold even when most
+	// residuals exceed the quantization range.
+	rng := rand.New(rand.NewSource(13))
+	g := grid.New[float32](grid.Dims{X: 12, Y: 12, Z: 12})
+	for i := range g.Data {
+		g.Data[i] = float32(math.Exp(rng.NormFloat64() * 10))
+	}
+	eb := 1e-3
+	blob, _, err := Compress3D(g, Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress3D[float32](blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mad := grid.MaxAbsDiff(g, got); mad > eb*(1+1e-9) {
+		t.Fatalf("max abs diff %v exceeds bound %v", mad, eb)
+	}
+}
+
+func TestQuickErrorBoundProperty(t *testing.T) {
+	// Property: for arbitrary data and bounds, round-trip error ≤ bound.
+	f := func(seed int64, ebExp uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eb := math.Pow(10, float64(int(ebExp%8))-4) // 1e-4 .. 1e3
+		d := grid.Dims{X: 6, Y: 6, Z: 6}
+		g := grid.New[float32](d)
+		for i := range g.Data {
+			g.Data[i] = float32(rng.NormFloat64() * 1e3)
+		}
+		blob, _, err := Compress3D(g, Options{ErrorBound: eb})
+		if err != nil {
+			return false
+		}
+		got, err := Decompress3D[float32](blob)
+		if err != nil {
+			return false
+		}
+		return grid.MaxAbsDiff(g, got) <= eb*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallerBoundLargerPayload(t *testing.T) {
+	g := smoothGrid(grid.Dims{X: 32, Y: 32, Z: 32})
+	var prev int
+	for i, eb := range []float64{10, 1, 0.1, 0.01} {
+		blob, _, err := Compress3D(g, Options{ErrorBound: eb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && len(blob) < prev {
+			t.Fatalf("tighter bound %v produced smaller payload (%d < %d)", eb, len(blob), prev)
+		}
+		prev = len(blob)
+	}
+}
+
+func TestStatsLiterals(t *testing.T) {
+	// Alternating extreme values defeat the predictor; most values should
+	// still be within bound thanks to literals.
+	g := grid.New[float32](grid.Dims{X: 8, Y: 8, Z: 8})
+	for i := range g.Data {
+		if i%2 == 0 {
+			g.Data[i] = 1e30
+		} else {
+			g.Data[i] = -1e30
+		}
+	}
+	blob, st, err := Compress3D(g, Options{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Literals == 0 {
+		t.Fatal("expected literal fallbacks for adversarial data")
+	}
+	got, err := Decompress3D[float32](blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mad := grid.MaxAbsDiff(g, got); mad > 1e-3 {
+		t.Fatalf("adversarial data error %v", mad)
+	}
+}
+
+func TestDisableLossless(t *testing.T) {
+	g := smoothGrid(grid.Dims{X: 16, Y: 16, Z: 16})
+	blob, _, err := Compress3D(g, Options{ErrorBound: 0.01, DisableLossless: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress3D[float32](blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mad := grid.MaxAbsDiff(g, got); mad > 0.01*(1+1e-9) {
+		t.Fatalf("error %v", mad)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Abs.String() != "abs" || Rel.String() != "rel" {
+		t.Fatalf("mode strings: %q %q", Abs.String(), Rel.String())
+	}
+}

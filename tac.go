@@ -1,0 +1,117 @@
+// Package tac is the public facade of the TAC reproduction: error-bounded
+// lossy compression for three-dimensional adaptive-mesh-refinement (AMR)
+// simulation data, after Wang et al., "TAC: Optimizing Error-Bounded Lossy
+// Compression for Three-Dimensional Adaptive Mesh Refinement Simulations"
+// (HPDC '22).
+//
+// The package re-exports the user-facing pieces of the internal packages:
+// the AMR dataset model, the TAC codec and its baselines, the configuration
+// type, and the post-analysis tools. A typical round trip:
+//
+//	ds, _ := tac.Generate(tac.Spec{ ... }, tac.BaryonDensity)
+//	blob, _ := tac.Compress(ds, tac.Config{ErrorBound: 1e9})
+//	recon, _ := tac.Decompress(blob)
+//
+// See examples/ for complete programs and internal/experiments for the
+// paper's evaluation harness.
+package tac
+
+import (
+	"fmt"
+
+	"repro/internal/amr"
+	"repro/internal/baseline"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sz"
+)
+
+// Dataset is a tree-structured AMR snapshot (levels ordered fine to
+// coarse, every cell stored at its finest refinement).
+type Dataset = amr.Dataset
+
+// Level is one refinement level of a Dataset.
+type Level = amr.Level
+
+// Config carries compression parameters: error bound, bounding mode,
+// per-level bound scaling, strategy overrides and hybrid thresholds.
+type Config = codec.Config
+
+// Codec is the interface shared by TAC and the three baselines.
+type Codec = codec.Codec
+
+// Spec describes a synthetic Nyx-like dataset to generate.
+type Spec = sim.Spec
+
+// Field names a physical field of a snapshot.
+type Field = sim.Field
+
+// The supported simulation fields.
+const (
+	BaryonDensity     = sim.BaryonDensity
+	DarkMatterDensity = sim.DarkMatterDensity
+	Temperature       = sim.Temperature
+	VelocityX         = sim.VelocityX
+	VelocityY         = sim.VelocityY
+	VelocityZ         = sim.VelocityZ
+)
+
+// Error-bounding modes.
+const (
+	Abs = sz.Abs // point-wise absolute bound
+	Rel = sz.Rel // value-range-relative bound, resolved per level
+)
+
+// Pre-process strategies for Config.Strategy; Auto applies the density
+// filter (OpST below 50%, AKDTree to 60%, GSP above).
+const (
+	Auto      = codec.Auto
+	ZF        = codec.ZF
+	NaST      = codec.NaST
+	OpST      = codec.OpST
+	AKDTree   = codec.AKD
+	GSP       = codec.GSP
+	ClassicKD = codec.ClassicKD
+)
+
+// Compress compresses ds with the TAC codec.
+func Compress(ds *Dataset, cfg Config) ([]byte, error) {
+	return core.TAC{}.Compress(ds, cfg)
+}
+
+// Decompress reconstructs a dataset from a payload written by Compress
+// (including payloads the adaptive switch routed to the 3D baseline).
+func Decompress(blob []byte) (*Dataset, error) {
+	return core.TAC{}.Decompress(blob)
+}
+
+// NewTAC returns the TAC codec as a Codec.
+func NewTAC() Codec { return core.TAC{} }
+
+// NewBaseline returns one of the paper's comparison codecs by name: "1D",
+// "zMesh", or "3D".
+func NewBaseline(name string) (Codec, error) {
+	switch name {
+	case "1D":
+		return baseline.Naive1D{}, nil
+	case "zMesh":
+		return baseline.ZMesh{}, nil
+	case "3D":
+		return baseline.Uniform3D{}, nil
+	default:
+		return nil, fmt.Errorf("tac: unknown baseline %q (want 1D, zMesh, or 3D)", name)
+	}
+}
+
+// Generate synthesizes an AMR dataset from a spec (see internal/sim for
+// how the Nyx-like fields and refinement are constructed).
+func Generate(spec Spec, field Field) (*Dataset, error) {
+	return sim.Generate(spec, field)
+}
+
+// Load reads a .amr snapshot written by Save or cmd/datagen.
+func Load(path string) (*Dataset, error) { return amr.Load(path) }
+
+// Save writes a dataset as a .amr snapshot.
+func Save(ds *Dataset, path string) error { return ds.Save(path) }
