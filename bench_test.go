@@ -11,6 +11,7 @@
 package tac_test
 
 import (
+	"bytes"
 	"io"
 	"sync"
 	"testing"
@@ -18,10 +19,12 @@ import (
 	tac "repro"
 	"repro/internal/amr"
 	"repro/internal/analysis"
+	"repro/internal/archive"
 	"repro/internal/baseline"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/grid"
 	"repro/internal/kdtree"
 	"repro/internal/preprocess"
 	"repro/internal/sim"
@@ -281,6 +284,113 @@ func BenchmarkTACCompressZ10Parallel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := (core.TAC{}).Compress(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Archive (TACA container) benchmarks: streaming write throughput and the
+// random-access read paths a serving layer exercises.
+
+func archiveSnapshots(b *testing.B) []*amr.Dataset {
+	b.Helper()
+	var out []*amr.Dataset
+	for _, name := range []string{"Run1_Z10", "Run1_Z5", "Run1_Z2"} {
+		out = append(out, dataset(b, name))
+	}
+	return out
+}
+
+func buildBenchArchive(b *testing.B, snaps []*amr.Dataset, workers int) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	w, err := archive.NewWriter(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ds := range snaps {
+		if err := w.AddDataset(ds, codec.Config{ErrorBound: 1e9, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func benchArchiveWrite(b *testing.B, workers int) {
+	snaps := archiveSnapshots(b)
+	var orig int64
+	for _, ds := range snaps {
+		orig += int64(ds.OriginalBytes())
+	}
+	b.SetBytes(orig)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buildBenchArchive(b, snaps, workers)
+	}
+}
+
+func BenchmarkArchiveWrite(b *testing.B)         { benchArchiveWrite(b, 1) }
+func BenchmarkArchiveWriteParallel(b *testing.B) { benchArchiveWrite(b, -1) }
+
+func BenchmarkArchiveExtractMember(b *testing.B) {
+	snaps := archiveSnapshots(b)
+	blob := buildBenchArchive(b, snaps, -1)
+	r, err := archive.Open(bytes.NewReader(blob), int64(len(blob)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(snaps[0].OriginalBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Extract(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkArchiveExtractLevel(b *testing.B) {
+	snaps := archiveSnapshots(b)
+	blob := buildBenchArchive(b, snaps, -1)
+	r, err := archive.Open(bytes.NewReader(blob), int64(len(blob)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(4 * snaps[0].Levels[1].StoredCells()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ExtractLevel(0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkArchiveExtractRegion(b *testing.B) {
+	snaps := archiveSnapshots(b)
+	blob := buildBenchArchive(b, snaps, -1)
+	r, err := archive.Open(bytes.NewReader(blob), int64(len(blob)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fd := snaps[0].FinestDims()
+	roi := grid.Region{X1: fd.X / 2, Y1: fd.Y / 2, Z1: fd.Z / 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ExtractRegion(0, roi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkArchiveOpen(b *testing.B) {
+	snaps := archiveSnapshots(b)
+	blob := buildBenchArchive(b, snaps, -1)
+	rd := bytes.NewReader(blob)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := archive.Open(rd, int64(len(blob))); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,20 +2,40 @@
 // evaluation section on the synthetic datasets and prints them in paper
 // order. See EXPERIMENTS.md for the paper-vs-measured record.
 //
+// With -json, it also writes a machine-readable record of the run —
+// per-exhibit wall times plus the seekable-archive throughput numbers —
+// for the performance trajectory across PRs (e.g. BENCH_archive.json).
+//
 // Usage:
 //
-//	benchall [-scale 4] [-only fig14]
+//	benchall [-scale 4] [-only fig14] [-json BENCH_archive.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
 )
+
+// report is the -json output schema.
+type report struct {
+	Scale      int                            `json:"scale"`
+	GoMaxProcs int                            `json:"gomaxprocs"`
+	Exhibits   []exhibitTiming                `json:"exhibits"`
+	Archive    experiments.ArchiveBenchResult `json:"archive"`
+	TotalSecs  float64                        `json:"total_seconds"`
+}
+
+type exhibitTiming struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -23,6 +43,7 @@ func main() {
 	scale := flag.Int("scale", experiments.DefaultScale, "resolution divisor vs the paper (power of two, 1-16)")
 	only := flag.String("only", "", "run a single exhibit (e.g. table2, fig15)")
 	list := flag.Bool("list", false, "list exhibit IDs and exit")
+	jsonPath := flag.String("json", "", "write machine-readable results (timings + archive throughput) to this path")
 	flag.Parse()
 
 	if *list {
@@ -33,14 +54,37 @@ func main() {
 	}
 	env := experiments.NewEnv(*scale)
 	start := time.Now()
-	var err error
-	if *only != "" {
-		err = experiments.RunByID(os.Stdout, env, *only)
-	} else {
-		err = experiments.RunAll(os.Stdout, env)
+	rep := report{Scale: env.Scale, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	timed := func(id string, d time.Duration) {
+		rep.Exhibits = append(rep.Exhibits, exhibitTiming{ID: id, Seconds: d.Seconds()})
 	}
-	if err != nil {
+	if *only != "" {
+		t0 := time.Now()
+		if err := experiments.RunByID(os.Stdout, env, *only); err != nil {
+			log.Fatal(err)
+		}
+		timed(*only, time.Since(t0))
+	} else if err := experiments.RunAllTimed(os.Stdout, env, timed); err != nil {
 		log.Fatal(err)
+	}
+
+	if *jsonPath != "" {
+		arch, err := experiments.ArchiveBench(env)
+		if err != nil {
+			log.Fatalf("archive bench: %v", err)
+		}
+		rep.Archive = arch
+		rep.TotalSecs = time.Since(start).Seconds()
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n[wrote %s: archive write %.1f MB/s, member read %.1f MB/s, level read %.1f%%, ROI read %.1f%% of archive]\n",
+			*jsonPath, arch.WriteMBps, arch.ExtractMemberMBps,
+			100*arch.ExtractLevelFraction, 100*arch.ExtractRegionFraction)
 	}
 	fmt.Printf("\n[benchall completed in %v at scale 1/%d]\n", time.Since(start).Round(time.Second), *scale)
 }

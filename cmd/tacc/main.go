@@ -7,6 +7,9 @@
 //	tacc decompress in.tacz out.amr
 //	tacc info       in.amr
 //	tacc verify     [-codec TAC] [-eb 1e9] [-rel] in.amr    (round-trip check)
+//	tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] out.taca in.amr...
+//	tacc ls         in.taca
+//	tacc extract    [-member 0] [-level -1] [-roi x0:x1,y0:y1,z0:z1] in.taca out.amr
 package main
 
 import (
@@ -19,9 +22,11 @@ import (
 	"time"
 
 	"repro/internal/amr"
+	"repro/internal/archive"
 	"repro/internal/baseline"
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/render"
 	"repro/internal/sz"
@@ -44,6 +49,12 @@ func main() {
 		verify(os.Args[2:])
 	case "errmap":
 		errmap(os.Args[2:])
+	case "archive":
+		archiveCmd(os.Args[2:])
+	case "ls":
+		lsCmd(os.Args[2:])
+	case "extract":
+		extractCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -55,7 +66,10 @@ func usage() {
   tacc decompress in.tacz out.amr
   tacc info       in.amr
   tacc verify     [-codec ...] [-eb ...] [-rel] in.amr
-  tacc errmap     [-codec ...] [-eb ...] [-rel] [-level 0] [-slice -1] in.amr out.png`)
+  tacc errmap     [-codec ...] [-eb ...] [-rel] [-level 0] [-slice -1] in.amr out.png
+  tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] out.taca in.amr...
+  tacc ls         in.taca
+  tacc extract    [-member 0] [-level -1] [-roi x0:x1,y0:y1,z0:z1] in.taca out.amr`)
 	os.Exit(2)
 }
 
@@ -89,13 +103,7 @@ func parseCfg(fs *flag.FlagSet, args []string) (codec.Codec, codec.Config, []str
 		cfg.Mode = sz.Rel
 	}
 	if *scales != "" {
-		for _, part := range strings.Split(*scales, ",") {
-			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-			if err != nil {
-				log.Fatalf("bad -scales entry %q: %v", part, err)
-			}
-			cfg.LevelScales = append(cfg.LevelScales, v)
-		}
+		cfg.LevelScales = parseScales(*scales)
 	}
 	return pickCodec(*name), cfg, fs.Args()
 }
@@ -202,6 +210,178 @@ func verify(args []string) {
 	}
 	fmt.Printf("%s: CR %.1f, PSNR %.2f dB, max err %.4g\n",
 		c.Name(), metrics.CompressionRatio(ds.OriginalBytes(), len(blob)), dist.PSNR(), dist.MaxErr)
+}
+
+// archiveCmd compresses a sequence of .amr snapshots into one seekable
+// .taca archive, streaming each member out as it is compressed.
+func archiveCmd(args []string) {
+	fs := flag.NewFlagSet("archive", flag.ExitOnError)
+	eb := fs.Float64("eb", 1e9, "error bound")
+	rel := fs.Bool("rel", false, "interpret -eb as value-range-relative")
+	scales := fs.String("scales", "", "per-level error-bound multipliers, fine to coarse")
+	workers := fs.Int("workers", -1, "compression workers per level (-1 = all CPUs)")
+	batch := fs.Int("batch", archive.DefaultBatchBlocks, "unit blocks per seekable frame")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	rest := fs.Args()
+	if len(rest) < 2 {
+		usage()
+	}
+	cfg := codec.Config{ErrorBound: *eb, Workers: *workers}
+	if *rel {
+		cfg.Mode = sz.Rel
+	}
+	if *scales != "" {
+		cfg.LevelScales = parseScales(*scales)
+	}
+	f, err := os.Create(rest[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w, err := archive.NewWriter(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.BatchBlocks = *batch
+	t0 := time.Now()
+	var orig int64
+	for _, path := range rest[1:] {
+		ds, err := amr.Load(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := w.AddDataset(ds, cfg); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		orig += int64(ds.OriginalBytes())
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	dt := time.Since(t0)
+	st := w.Stats()
+	fmt.Printf("%s: %d members, %d -> %d bytes (CR %.1f) in %v (%.1f MB/s)\n",
+		rest[0], st.Members, orig, st.BytesWritten,
+		float64(orig)/float64(st.BytesWritten),
+		dt.Round(time.Millisecond), float64(orig)/1e6/dt.Seconds())
+}
+
+// lsCmd lists the members of an archive from its footer index alone.
+func lsCmd(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	r, err := archive.OpenFile(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	fmt.Printf("%-4s %-16s %-20s %6s %12s %12s %8s %10s\n",
+		"#", "name", "field", "levels", "cells", "bytes", "CR", "eb")
+	for i, m := range r.Members() {
+		fmt.Printf("%-4d %-16s %-20s %6d %12d %12d %8.1f %10.3g\n",
+			i, m.Name, m.Field, len(m.Levels), m.StoredCells(), m.CompressedBytes(),
+			float64(m.OriginalBytes())/float64(m.CompressedBytes()), m.ErrorBound)
+	}
+}
+
+// extractCmd pulls a member, a level, or a spatial region out of an
+// archive, reading only the covered frames.
+func extractCmd(args []string) {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	member := fs.String("member", "0", "member index, or name[/field]")
+	level := fs.Int("level", -1, "extract a single level (-1 = all)")
+	roi := fs.String("roi", "", "region of interest x0:x1,y0:y1,z0:z1 in finest cells")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	rest := fs.Args()
+	if len(rest) != 2 {
+		usage()
+	}
+	r, err := archive.OpenFile(rest[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	mi := resolveMember(r.Reader, *member)
+	var ds *amr.Dataset
+	switch {
+	case *roi != "" && *level >= 0:
+		log.Fatal("-level and -roi are mutually exclusive")
+	case *roi != "":
+		ds, err = r.ExtractRegion(mi, parseROI(*roi))
+	case *level >= 0:
+		var l *amr.Level
+		l, err = r.ExtractLevel(mi, *level)
+		if err == nil {
+			m := r.Members()[mi]
+			ds = &amr.Dataset{Name: m.Name, Field: m.Field, Ratio: m.Ratio, Levels: []*amr.Level{l}}
+		}
+	default:
+		ds, err = r.Extract(mi)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ds.Save(rest[1]); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d stored cells, %d levels)\n", rest[1], ds.StoredCells(), len(ds.Levels))
+}
+
+// resolveMember accepts an index or a name[/field] selector.
+func resolveMember(r *archive.Reader, sel string) int {
+	if i, err := strconv.Atoi(sel); err == nil {
+		return i
+	}
+	name, field, _ := strings.Cut(sel, "/")
+	i := r.Find(name, field)
+	if i < 0 {
+		log.Fatalf("archive has no member %q", sel)
+	}
+	return i
+}
+
+// parseROI parses "x0:x1,y0:y1,z0:z1".
+func parseROI(s string) grid.Region {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		log.Fatalf("bad -roi %q (want x0:x1,y0:y1,z0:z1)", s)
+	}
+	var lo, hi [3]int
+	for i, p := range parts {
+		a, b, ok := strings.Cut(p, ":")
+		if !ok {
+			log.Fatalf("bad -roi axis %q", p)
+		}
+		var err error
+		if lo[i], err = strconv.Atoi(a); err != nil {
+			log.Fatalf("bad -roi bound %q", a)
+		}
+		if hi[i], err = strconv.Atoi(b); err != nil {
+			log.Fatalf("bad -roi bound %q", b)
+		}
+	}
+	return grid.Region{X0: lo[0], Y0: lo[1], Z0: lo[2], X1: hi[0], Y1: hi[1], Z1: hi[2]}
+}
+
+// parseScales parses a comma-separated multiplier list.
+func parseScales(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			log.Fatalf("bad -scales entry %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 // errmap compresses, decompresses, and renders a Fig. 7/12-style error-map

@@ -1,0 +1,124 @@
+// Command archive demonstrates the seekable TACA container: it streams a
+// small multi-snapshot, multi-field campaign into one archive file, then
+// reopens it and answers the queries a serving layer would see — list the
+// members, pull one refinement level, and pull a spatial region — while
+// counting how few bytes each random access touches.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	tac "repro"
+)
+
+// countingReaderAt makes the random-access story measurable.
+type countingReaderAt struct {
+	r    io.ReaderAt
+	read atomic.Int64
+}
+
+func (c *countingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n, err := c.r.ReadAt(p, off)
+	c.read.Add(int64(n))
+	return n, err
+}
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "taca")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "campaign.taca")
+
+	// Write: two timesteps × two fields, streamed member by member.
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := tac.NewArchive(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var orig int64
+	for ti, fractions := range [][]float64{{0.3, 0.7}, {0.6, 0.4}} {
+		for _, field := range []tac.Field{tac.BaryonDensity, tac.Temperature} {
+			ds, err := tac.Generate(tac.Spec{
+				Name: fmt.Sprintf("step%02d", ti), FinestN: 64, Levels: 2,
+				UnitBlock: 8, Seed: int64(40 + ti), LeafFractions: fractions,
+			}, field)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// A value-range-relative bound adapts to each field's scale
+			// (baryon density ~1e11, temperature ~1e4).
+			if err := w.AddDataset(ds, tac.Config{ErrorBound: 1e-3, Mode: tac.Rel, Workers: -1}); err != nil {
+				log.Fatal(err)
+			}
+			orig += int64(ds.OriginalBytes())
+		}
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st := w.Stats()
+	fmt.Printf("wrote %s: %d members, %.2f MB raw -> %.2f MB (CR %.1f)\n\n",
+		filepath.Base(path), st.Members,
+		float64(orig)/1e6, float64(st.BytesWritten)/1e6,
+		float64(orig)/float64(st.BytesWritten))
+
+	// Read back through a byte-counting ReaderAt.
+	rf, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rf.Close()
+	fi, err := rf.Stat()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cr := &countingReaderAt{r: rf}
+	r, err := tac.OpenArchive(cr, fi.Size())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: %d members listed after reading %.1f%% of the file\n",
+		len(r.Members()), pct(cr.read.Load(), fi.Size()))
+	for i, m := range r.Members() {
+		fmt.Printf("  [%d] %s/%s: %d levels, %d cells, %d bytes\n",
+			i, m.Name, m.Field, len(m.Levels), m.StoredCells(), m.CompressedBytes())
+	}
+
+	// Random access #1: one coarse level of one member.
+	before := cr.read.Load()
+	l, err := r.ExtractLevel(3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nextract level 1 of member 3: %v cells, read %.1f%% of the archive\n",
+		l.Grid.Dim, pct(cr.read.Load()-before, fi.Size()))
+
+	// Random access #2: a 32³ corner of the domain across all levels.
+	before = cr.read.Load()
+	part, err := r.ExtractRegion(0, tac.Region{X1: 32, Y1: 32, Z1: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cells := 0
+	for _, pl := range part.Levels {
+		cells += pl.StoredCells()
+	}
+	fmt.Printf("extract 32³ ROI of member 0: %d stored cells, read %.1f%% of the archive\n",
+		cells, pct(cr.read.Load()-before, fi.Size()))
+}
+
+func pct(part, whole int64) float64 { return 100 * float64(part) / float64(whole) }

@@ -153,6 +153,10 @@ func ReadFrom(r io.Reader) (*Dataset, error) {
 		if d.Count() <= 0 || d.Count() > 1<<31 {
 			return nil, fmt.Errorf("amr: implausible level dims %v", d)
 		}
+		// Validate before NewLevel, which panics on bad geometry.
+		if ub == 0 || d.X%int(ub) != 0 || d.Y%int(ub) != 0 || d.Z%int(ub) != 0 {
+			return nil, fmt.Errorf("amr: level %d unit block %d does not divide dims %v", li, ub, d)
+		}
 		l := NewLevel(d, int(ub))
 		packed := make([]byte, (len(l.Mask.Bits)+7)/8)
 		if _, err := io.ReadFull(br, packed); err != nil {

@@ -1,0 +1,315 @@
+// Package archive implements TACA, a framed, seekable container for
+// sequences of TAC-compressed AMR snapshots. Where the in-memory codec
+// container (internal/codec) carries one opaque snapshot blob, a TACA
+// archive holds many members — one per snapshot × field — laid out so that
+//
+//   - the Writer streams: members are compressed level by level in
+//     fixed-size unit-block batches that go straight to an io.Writer, so a
+//     campaign larger than memory never materializes more than the batches
+//     currently in flight;
+//   - the Reader seeks: a footer index records every member's skeleton
+//     (level geometry + occupancy masks) and the byte extent of every
+//     block batch, so extracting one member, one refinement level, or one
+//     spatial region reads only the index and the covered batches from any
+//     io.ReaderAt, safely from many goroutines at once.
+//
+// File layout:
+//
+//	header    "TACA" magic + 1 version byte
+//	frames    raw sz block-batch payloads, back to back, in index order
+//	footer    varint-coded member index (see encodeFooter)
+//	trailer   uint64 LE footer length + 8-byte end magic "TACAEND1"
+//
+// Each frame is an independently decodable sz.CompressBlocks stream over
+// up to BatchBlocks occupied unit blocks of one level, in row-major mask
+// order. Block coordinates are never stored: like the codec container,
+// the footer's occupancy masks fully determine which blocks the i-th
+// batch of a level covers, so the index costs one bit per unit block plus
+// two varints per batch.
+package archive
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/codec"
+	"repro/internal/grid"
+	"repro/internal/sz"
+)
+
+const (
+	// Version is the TACA format version this package reads and writes.
+	Version = 1
+	// DefaultBatchBlocks is the default number of unit blocks per frame:
+	// large enough that the shared Huffman codebook amortizes, small
+	// enough that a region query decodes little beyond its footprint.
+	DefaultBatchBlocks = 64
+
+	headerLen  = 5 // "TACA" + version byte
+	trailerLen = 16
+)
+
+var (
+	headerMagic  = [4]byte{'T', 'A', 'C', 'A'}
+	trailerMagic = [8]byte{'T', 'A', 'C', 'A', 'E', 'N', 'D', '1'}
+)
+
+// BatchRecord locates one block-batch frame in the archive.
+type BatchRecord struct {
+	Offset int64 // absolute byte offset of the frame
+	Length int64 // frame length in bytes
+}
+
+// LevelIndex is the footer record for one refinement level of a member.
+type LevelIndex struct {
+	Dims        grid.Dims  // cell extent of the level grid
+	UnitBlock   int        // edge length of the refinement unit
+	Mask        *grid.Mask // occupancy at unit-block granularity
+	BatchBlocks int        // unit blocks per batch (last batch may be short)
+	Batches     []BatchRecord
+}
+
+// blockCount returns the number of occupied blocks batch b covers.
+func (li *LevelIndex) blockCount(b int, occupied int) int {
+	n := occupied - b*li.BatchBlocks
+	if n > li.BatchBlocks {
+		n = li.BatchBlocks
+	}
+	return n
+}
+
+// CompressedBytes returns the total frame bytes of the level.
+func (li *LevelIndex) CompressedBytes() int64 {
+	var n int64
+	for _, b := range li.Batches {
+		n += b.Length
+	}
+	return n
+}
+
+// Member is the footer record for one snapshot × field entry.
+type Member struct {
+	Name  string
+	Field string
+	Ratio int
+
+	// Compression parameters the member was written with, recorded for
+	// listings and provenance; the effective absolute bound of every
+	// frame is also baked into its sz header.
+	ErrorBound  float64
+	Mode        sz.Mode
+	QuantBits   int
+	LevelScales []float64
+
+	Levels []LevelIndex
+}
+
+// StoredCells returns the number of cells stored across all levels.
+func (m *Member) StoredCells() int {
+	n := 0
+	for i := range m.Levels {
+		li := &m.Levels[i]
+		n += li.Mask.Count() * li.UnitBlock * li.UnitBlock * li.UnitBlock
+	}
+	return n
+}
+
+// OriginalBytes returns the uncompressed size (4 bytes per stored cell).
+func (m *Member) OriginalBytes() int64 { return 4 * int64(m.StoredCells()) }
+
+// CompressedBytes returns the total frame bytes across all levels.
+func (m *Member) CompressedBytes() int64 {
+	var n int64
+	for i := range m.Levels {
+		n += m.Levels[i].CompressedBytes()
+	}
+	return n
+}
+
+// encodeFooter serializes the member index.
+func encodeFooter(members []Member) ([]byte, error) {
+	var out []byte
+	out = bitio.AppendUvarint(out, uint64(len(members)))
+	for mi := range members {
+		m := &members[mi]
+		out = bitio.AppendBytes(out, []byte(m.Name))
+		out = bitio.AppendBytes(out, []byte(m.Field))
+		out = bitio.AppendUvarint(out, uint64(m.Ratio))
+		out = bitio.AppendUvarint(out, math.Float64bits(m.ErrorBound))
+		out = bitio.AppendUvarint(out, uint64(m.Mode))
+		out = bitio.AppendUvarint(out, uint64(m.QuantBits))
+		out = bitio.AppendUvarint(out, uint64(len(m.LevelScales)))
+		for _, s := range m.LevelScales {
+			out = bitio.AppendUvarint(out, math.Float64bits(s))
+		}
+		out = bitio.AppendUvarint(out, uint64(len(m.Levels)))
+		for i := range m.Levels {
+			li := &m.Levels[i]
+			out = bitio.AppendUvarint(out, uint64(li.Dims.X))
+			out = bitio.AppendUvarint(out, uint64(li.Dims.Y))
+			out = bitio.AppendUvarint(out, uint64(li.Dims.Z))
+			out = bitio.AppendUvarint(out, uint64(li.UnitBlock))
+			comp, err := codec.EncodeMask(li.Mask)
+			if err != nil {
+				return nil, err
+			}
+			out = bitio.AppendBytes(out, comp)
+			out = bitio.AppendUvarint(out, uint64(li.BatchBlocks))
+			out = bitio.AppendUvarint(out, uint64(len(li.Batches)))
+			for _, b := range li.Batches {
+				out = bitio.AppendUvarint(out, uint64(b.Offset))
+				out = bitio.AppendUvarint(out, uint64(b.Length))
+			}
+		}
+	}
+	return out, nil
+}
+
+// decodeFooter parses the member index.
+func decodeFooter(buf []byte) ([]Member, error) {
+	u := func() (uint64, error) {
+		v, n, err := bitio.Uvarint(buf)
+		if err != nil {
+			return 0, err
+		}
+		buf = buf[n:]
+		return v, nil
+	}
+	bs := func() ([]byte, error) {
+		b, n, err := bitio.Bytes(buf)
+		if err != nil {
+			return nil, err
+		}
+		buf = buf[n:]
+		return b, nil
+	}
+	nm, err := u()
+	if err != nil {
+		return nil, fmt.Errorf("archive: footer member count: %w", err)
+	}
+	if nm > 1<<20 {
+		return nil, fmt.Errorf("archive: implausible member count %d", nm)
+	}
+	members := make([]Member, 0, nm)
+	for mi := uint64(0); mi < nm; mi++ {
+		var m Member
+		nameB, err := bs()
+		if err != nil {
+			return nil, fmt.Errorf("archive: member %d name: %w", mi, err)
+		}
+		m.Name = string(nameB)
+		fieldB, err := bs()
+		if err != nil {
+			return nil, fmt.Errorf("archive: member %d field: %w", mi, err)
+		}
+		m.Field = string(fieldB)
+		ratio, err := u()
+		if err != nil {
+			return nil, err
+		}
+		m.Ratio = int(ratio)
+		ebBits, err := u()
+		if err != nil {
+			return nil, err
+		}
+		m.ErrorBound = math.Float64frombits(ebBits)
+		mode, err := u()
+		if err != nil {
+			return nil, err
+		}
+		m.Mode = sz.Mode(mode)
+		qb, err := u()
+		if err != nil {
+			return nil, err
+		}
+		m.QuantBits = int(qb)
+		ns, err := u()
+		if err != nil {
+			return nil, err
+		}
+		if ns > 64 {
+			return nil, fmt.Errorf("archive: member %d has %d level scales", mi, ns)
+		}
+		for i := uint64(0); i < ns; i++ {
+			bits, err := u()
+			if err != nil {
+				return nil, err
+			}
+			m.LevelScales = append(m.LevelScales, math.Float64frombits(bits))
+		}
+		nlev, err := u()
+		if err != nil {
+			return nil, err
+		}
+		if nlev == 0 || nlev > 64 {
+			return nil, fmt.Errorf("archive: member %d has implausible level count %d", mi, nlev)
+		}
+		// Ratio scales ROI coordinates across levels (used as a divisor);
+		// reject corrupt values before they can reach that arithmetic.
+		if m.Ratio < 2 {
+			return nil, fmt.Errorf("archive: member %d has refinement ratio %d < 2", mi, m.Ratio)
+		}
+		for liIdx := uint64(0); liIdx < nlev; liIdx++ {
+			var li LevelIndex
+			for _, p := range []*int{&li.Dims.X, &li.Dims.Y, &li.Dims.Z, &li.UnitBlock} {
+				v, err := u()
+				if err != nil {
+					return nil, err
+				}
+				*p = int(v)
+			}
+			// Same plausibility cap as amr.ReadFrom: reject before the
+			// mask/grid allocations a hostile footer could inflate.
+			if li.UnitBlock <= 0 || li.Dims.Count() <= 0 || li.Dims.Count() > 1<<31 ||
+				li.Dims.X%li.UnitBlock != 0 || li.Dims.Y%li.UnitBlock != 0 || li.Dims.Z%li.UnitBlock != 0 {
+				return nil, fmt.Errorf("archive: member %d level %d has corrupt geometry %v/%d", mi, liIdx, li.Dims, li.UnitBlock)
+			}
+			comp, err := bs()
+			if err != nil {
+				return nil, fmt.Errorf("archive: member %d level %d mask: %w", mi, liIdx, err)
+			}
+			li.Mask, err = codec.DecodeMask(li.Dims.Div(li.UnitBlock), comp)
+			if err != nil {
+				return nil, fmt.Errorf("archive: member %d level %d: %w", mi, liIdx, err)
+			}
+			bb, err := u()
+			if err != nil {
+				return nil, err
+			}
+			li.BatchBlocks = int(bb)
+			nb, err := u()
+			if err != nil {
+				return nil, err
+			}
+			occupied := li.Mask.Count()
+			wantBatches := 0
+			if occupied > 0 {
+				if li.BatchBlocks <= 0 {
+					return nil, fmt.Errorf("archive: member %d level %d has batch size %d", mi, liIdx, li.BatchBlocks)
+				}
+				wantBatches = (occupied + li.BatchBlocks - 1) / li.BatchBlocks
+			}
+			if int(nb) != wantBatches {
+				return nil, fmt.Errorf("archive: member %d level %d has %d batches, mask implies %d", mi, liIdx, nb, wantBatches)
+			}
+			for i := uint64(0); i < nb; i++ {
+				off, err := u()
+				if err != nil {
+					return nil, err
+				}
+				length, err := u()
+				if err != nil {
+					return nil, err
+				}
+				if length == 0 {
+					return nil, fmt.Errorf("archive: member %d level %d batch %d is empty", mi, liIdx, i)
+				}
+				li.Batches = append(li.Batches, BatchRecord{Offset: int64(off), Length: int64(length)})
+			}
+			m.Levels = append(m.Levels, li)
+		}
+		members = append(members, m)
+	}
+	return members, nil
+}

@@ -1,0 +1,318 @@
+package archive
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+
+	"repro/internal/amr"
+	"repro/internal/grid"
+	"repro/internal/sz"
+)
+
+// Reader is a random-access view of a TACA archive. Open parses only the
+// footer index; every extraction then reads exactly the frames it needs
+// through the io.ReaderAt. A Reader holds no mutable state after Open, so
+// any number of goroutines may extract concurrently.
+type Reader struct {
+	// Workers bounds the per-extraction decode pool; 0 means GOMAXPROCS,
+	// 1 decodes serially.
+	Workers int
+
+	r       io.ReaderAt
+	size    int64
+	members []Member
+}
+
+// Open reads and parses the archive index from r, which must cover size
+// bytes.
+func Open(r io.ReaderAt, size int64) (*Reader, error) {
+	if size < headerLen+trailerLen {
+		return nil, fmt.Errorf("archive: %d bytes is too short for a TACA archive", size)
+	}
+	hdr := make([]byte, headerLen)
+	if _, err := r.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("archive: reading header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != headerMagic {
+		return nil, fmt.Errorf("archive: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != Version {
+		return nil, fmt.Errorf("archive: unsupported version %d", hdr[4])
+	}
+	trailer := make([]byte, trailerLen)
+	if _, err := r.ReadAt(trailer, size-trailerLen); err != nil {
+		return nil, fmt.Errorf("archive: reading trailer: %w", err)
+	}
+	if [8]byte(trailer[8:]) != trailerMagic {
+		return nil, fmt.Errorf("archive: bad trailer magic %q (truncated archive?)", trailer[8:])
+	}
+	var flen uint64
+	for i := 7; i >= 0; i-- {
+		flen = flen<<8 | uint64(trailer[i])
+	}
+	if flen > uint64(size-headerLen-trailerLen) {
+		return nil, fmt.Errorf("archive: footer length %d exceeds file size %d", flen, size)
+	}
+	footer := make([]byte, flen)
+	if _, err := r.ReadAt(footer, size-trailerLen-int64(flen)); err != nil {
+		return nil, fmt.Errorf("archive: reading footer: %w", err)
+	}
+	members, err := decodeFooter(footer)
+	if err != nil {
+		return nil, err
+	}
+	dataEnd := size - trailerLen - int64(flen)
+	for mi := range members {
+		for li := range members[mi].Levels {
+			for _, b := range members[mi].Levels[li].Batches {
+				if b.Offset < headerLen || b.Offset+b.Length > dataEnd {
+					return nil, fmt.Errorf("archive: member %d level %d frame [%d,%d) outside data section", mi, li, b.Offset, b.Offset+b.Length)
+				}
+			}
+		}
+	}
+	return &Reader{r: r, size: size, members: members}, nil
+}
+
+// FileReader is a Reader backed by an opened file.
+type FileReader struct {
+	*Reader
+	f *os.File
+}
+
+// Close closes the underlying file.
+func (fr *FileReader) Close() error { return fr.f.Close() }
+
+// OpenFile opens a TACA archive from disk.
+func OpenFile(path string) (*FileReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := Open(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("archive: %s: %w", path, err)
+	}
+	return &FileReader{Reader: r, f: f}, nil
+}
+
+// Members returns the archive index (shared, not copied — callers must not
+// mutate).
+func (r *Reader) Members() []Member { return r.members }
+
+// Find returns the index of the member with the given name and field, or
+// -1. An empty field matches the first member with the name.
+func (r *Reader) Find(name, field string) int {
+	for i := range r.members {
+		if r.members[i].Name == name && (field == "" || r.members[i].Field == field) {
+			return i
+		}
+	}
+	return -1
+}
+
+// member bounds-checks a member index.
+func (r *Reader) member(i int) (*Member, error) {
+	if i < 0 || i >= len(r.members) {
+		return nil, fmt.Errorf("archive: no member %d (have %d)", i, len(r.members))
+	}
+	return &r.members[i], nil
+}
+
+// Extract reconstructs a whole member as a dataset.
+func (r *Reader) Extract(i int) (*amr.Dataset, error) {
+	return r.extract(i, nil)
+}
+
+// ExtractLevel reconstructs one refinement level of a member. The returned
+// level's mask equals the stored occupancy; unmasked cells are zero.
+func (r *Reader) ExtractLevel(i, li int) (*amr.Level, error) {
+	m, err := r.member(i)
+	if err != nil {
+		return nil, err
+	}
+	if li < 0 || li >= len(m.Levels) {
+		return nil, fmt.Errorf("archive: member %d has no level %d", i, li)
+	}
+	return r.extractLevel(m, li, nil)
+}
+
+// ExtractRegion reconstructs the part of a member covering roi, a region
+// in finest-level cell coordinates. Only unit blocks whose extent
+// intersects roi are read and decoded; the returned dataset's masks mark
+// exactly those blocks, so it is a partial view that does not tile the
+// domain (Dataset.Validate will reject it by design).
+func (r *Reader) ExtractRegion(i int, roi grid.Region) (*amr.Dataset, error) {
+	m, err := r.member(i)
+	if err != nil {
+		return nil, err
+	}
+	clipped := roi.Intersect(m.Levels[0].Dims)
+	if clipped.Empty() {
+		return nil, fmt.Errorf("archive: region %v does not intersect member %d (finest extent %v)", roi, i, m.Levels[0].Dims)
+	}
+	roi = clipped
+	wants := make([]*grid.Mask, len(m.Levels))
+	scale := 1
+	for li := range m.Levels {
+		idx := &m.Levels[li]
+		// Scale the finest-cell ROI down to this level's cells (outer
+		// bounds round outward), then to unit-block granularity, and
+		// intersect with the stored occupancy.
+		ub := idx.UnitBlock
+		br := grid.Region{
+			X0: roi.X0 / (scale * ub), Y0: roi.Y0 / (scale * ub), Z0: roi.Z0 / (scale * ub),
+			X1: ceilDiv(roi.X1, scale*ub), Y1: ceilDiv(roi.Y1, scale*ub), Z1: ceilDiv(roi.Z1, scale*ub),
+		}
+		want := grid.NewMask(idx.Mask.Dim)
+		want.FillRegion(br.Intersect(want.Dim), true)
+		for j := range want.Bits {
+			want.Bits[j] = want.Bits[j] && idx.Mask.Bits[j]
+		}
+		wants[li] = want
+		scale *= m.Ratio
+	}
+	return r.extract(i, wants)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// extract reconstructs a member; wants optionally restricts each level to
+// a subset of its occupied blocks (nil, or a nil entry, means all).
+func (r *Reader) extract(i int, wants []*grid.Mask) (*amr.Dataset, error) {
+	m, err := r.member(i)
+	if err != nil {
+		return nil, err
+	}
+	ds := &amr.Dataset{Name: m.Name, Field: m.Field, Ratio: m.Ratio}
+	for li := range m.Levels {
+		var want *grid.Mask
+		if wants != nil {
+			want = wants[li]
+		}
+		l, err := r.extractLevel(m, li, want)
+		if err != nil {
+			return nil, fmt.Errorf("archive: member %d level %d: %w", i, li, err)
+		}
+		ds.Levels = append(ds.Levels, l)
+	}
+	return ds, nil
+}
+
+// extractLevel reads and decodes only the batches containing wanted blocks
+// (want nil means every occupied block), scattering them into a fresh
+// level.
+func (r *Reader) extractLevel(m *Member, liIdx int, want *grid.Mask) (*amr.Level, error) {
+	idx := &m.Levels[liIdx]
+	l := amr.NewLevel(idx.Dims, idx.UnitBlock)
+	ords := idx.Mask.OccupiedIndices()
+	if want == nil {
+		copy(l.Mask.Bits, idx.Mask.Bits)
+	} else if want.Dim != idx.Mask.Dim {
+		return nil, fmt.Errorf("archive: want mask dims %v, level has %v", want.Dim, idx.Mask.Dim)
+	}
+
+	// Plan which batches to touch before reading a single frame byte.
+	type job struct {
+		batch int
+		lo    int // first ordinal covered
+	}
+	var jobs []job
+	for b := range idx.Batches {
+		lo := b * idx.BatchBlocks
+		hi := lo + idx.blockCount(b, len(ords))
+		if want != nil {
+			hit := false
+			for _, ord := range ords[lo:hi] {
+				if want.Bits[ord] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+		}
+		jobs = append(jobs, job{batch: b, lo: lo})
+	}
+	if len(jobs) == 0 {
+		return l, nil
+	}
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	run := func(j job) error {
+		rec := idx.Batches[j.batch]
+		blob := make([]byte, rec.Length)
+		if _, err := r.r.ReadAt(blob, rec.Offset); err != nil {
+			return fmt.Errorf("batch %d: %w", j.batch, err)
+		}
+		count := idx.blockCount(j.batch, len(ords))
+		info, err := sz.PeekBatch(blob)
+		if err != nil {
+			return fmt.Errorf("batch %d: %w", j.batch, err)
+		}
+		wantDims := grid.Dims{X: idx.UnitBlock, Y: idx.UnitBlock, Z: idx.UnitBlock}
+		if info.BlockDims != wantDims || info.Blocks != count {
+			return fmt.Errorf("batch %d holds %d×%v blocks, index implies %d×%v",
+				j.batch, info.Blocks, info.BlockDims, count, wantDims)
+		}
+		blocks, err := sz.DecompressBlocks[amr.Value](blob)
+		if err != nil {
+			return fmt.Errorf("batch %d: %w", j.batch, err)
+		}
+		for k, ord := range ords[j.lo : j.lo+count] {
+			if want != nil && !want.Bits[ord] {
+				continue
+			}
+			bx, by, bz := idx.Mask.Dim.Coords(ord)
+			l.Grid.SetRegion(l.BlockRegion(bx, by, bz), blocks[k].Data)
+			if want != nil {
+				// Distinct indices per batch; concurrent writes are safe.
+				l.Mask.Bits[ord] = true
+			}
+		}
+		return nil
+	}
+	if workers == 1 {
+		for _, j := range jobs {
+			if err := run(j); err != nil {
+				return nil, err
+			}
+		}
+		return l, nil
+	}
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for ji, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ji int, j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[ji] = run(j)
+		}(ji, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}

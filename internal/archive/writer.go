@@ -1,0 +1,318 @@
+package archive
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/amr"
+	"repro/internal/codec"
+	"repro/internal/grid"
+	"repro/internal/sz"
+)
+
+// Writer appends members to a TACA archive, streaming frames to the
+// underlying io.Writer as they are compressed. Only the unit-block batches
+// currently being compressed are held uncompressed in memory (one per
+// worker), so archives of arbitrarily long snapshot sequences stream
+// through without full materialization.
+//
+// A Writer is not safe for concurrent use; the parallelism lives inside
+// AddLevel's worker pool.
+type Writer struct {
+	// BatchBlocks is the number of unit blocks per frame for subsequently
+	// begun members; 0 means DefaultBatchBlocks.
+	BatchBlocks int
+
+	w       io.Writer
+	off     int64 // bytes emitted so far == next frame's offset
+	members []Member
+	cur     *MemberWriter
+	closed  bool
+
+	gatheredCells atomic.Int64 // cells currently gathered, pre-compression
+	peakGathered  atomic.Int64
+}
+
+// Stats reports what a Writer has done so far.
+type Stats struct {
+	Members      int
+	BytesWritten int64
+	// PeakGatheredValues is the high-water mark of uncompressed cells the
+	// writer's pipeline held at once — the streaming-memory guarantee made
+	// observable (at most workers × BatchBlocks × UnitBlock³).
+	PeakGatheredValues int64
+}
+
+// NewWriter writes the archive header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	hdr := append(headerMagic[:], Version)
+	if _, err := w.Write(hdr); err != nil {
+		return nil, fmt.Errorf("archive: writing header: %w", err)
+	}
+	return &Writer{w: w, off: headerLen}, nil
+}
+
+// Stats returns the writer's progress counters.
+func (w *Writer) Stats() Stats {
+	return Stats{
+		Members:            len(w.members),
+		BytesWritten:       w.off,
+		PeakGatheredValues: w.peakGathered.Load(),
+	}
+}
+
+// AddDataset compresses a whole snapshot as one member. The member name is
+// ds.Name and the field ds.Field.
+func (w *Writer) AddDataset(ds *amr.Dataset, cfg codec.Config) error {
+	mw, err := w.BeginMember(ds.Name, ds.Field, ds.Ratio, cfg)
+	if err != nil {
+		return err
+	}
+	for _, l := range ds.Levels {
+		if err := mw.AddLevel(l); err != nil {
+			return err
+		}
+	}
+	return mw.Close()
+}
+
+// BeginMember starts a new member. Levels are appended fine to coarse with
+// AddLevel — each is compressed and flushed immediately, so the caller may
+// generate or load levels one at a time and discard them after the call —
+// and the member is sealed with Close before the next BeginMember.
+func (w *Writer) BeginMember(name, field string, ratio int, cfg codec.Config) (*MemberWriter, error) {
+	if w.closed {
+		return nil, fmt.Errorf("archive: writer is closed")
+	}
+	if w.cur != nil {
+		return nil, fmt.Errorf("archive: member %q still open", w.cur.member.Name)
+	}
+	if ratio < 2 {
+		return nil, fmt.Errorf("archive: member %q has refinement ratio %d < 2", name, ratio)
+	}
+	cfg = cfg.WithDefaults()
+	w.cur = &MemberWriter{
+		w:   w,
+		cfg: cfg,
+		member: Member{
+			Name:        name,
+			Field:       field,
+			Ratio:       ratio,
+			ErrorBound:  cfg.ErrorBound,
+			Mode:        cfg.Mode,
+			QuantBits:   cfg.QuantBits,
+			LevelScales: append([]float64(nil), cfg.LevelScales...),
+		},
+	}
+	return w.cur, nil
+}
+
+// MemberWriter appends the levels of one member.
+type MemberWriter struct {
+	w      *Writer
+	cfg    codec.Config
+	member Member
+	done   bool
+}
+
+// workers resolves the configured worker count for the batch pipeline.
+func (mw *MemberWriter) workers() int {
+	switch {
+	case mw.cfg.Workers == -1:
+		return runtime.GOMAXPROCS(0)
+	case mw.cfg.Workers > 1:
+		return mw.cfg.Workers
+	default:
+		return 1
+	}
+}
+
+// AddLevel compresses one level into block-batch frames and streams them
+// out. Batches are gathered and compressed by a pool of cfg.Workers
+// goroutines (each batch is an independent sz stream, so the pool
+// pipelines gather → compress → in-order write), and only the batches in
+// flight exist uncompressed outside l itself.
+func (mw *MemberWriter) AddLevel(l *amr.Level) error {
+	if mw.done {
+		return fmt.Errorf("archive: member %q already closed", mw.member.Name)
+	}
+	liIdx := len(mw.member.Levels)
+	eb := mw.cfg.LevelEB(liIdx, l)
+	opts := sz.Options{ErrorBound: eb, QuantBits: mw.cfg.QuantBits}
+
+	batchBlocks := mw.w.BatchBlocks
+	if batchBlocks <= 0 {
+		batchBlocks = DefaultBatchBlocks
+	}
+	idx := LevelIndex{
+		Dims:        l.Grid.Dim,
+		UnitBlock:   l.UnitBlock,
+		Mask:        l.Mask.Clone(),
+		BatchBlocks: batchBlocks,
+	}
+	ords := l.Mask.OccupiedIndices()
+	nbatch := (len(ords) + batchBlocks - 1) / batchBlocks
+	if nbatch == 0 {
+		mw.member.Levels = append(mw.member.Levels, idx)
+		return nil
+	}
+
+	compress := func(b int) ([]byte, error) {
+		lo := b * batchBlocks
+		hi := min(lo+batchBlocks, len(ords))
+		cells := int64(hi-lo) * int64(l.UnitBlock*l.UnitBlock*l.UnitBlock)
+		cur := mw.w.gatheredCells.Add(cells)
+		for {
+			peak := mw.w.peakGathered.Load()
+			if cur <= peak || mw.w.peakGathered.CompareAndSwap(peak, cur) {
+				break
+			}
+		}
+		defer mw.w.gatheredCells.Add(-cells)
+		blocks := make([]*grid.Grid3[amr.Value], 0, hi-lo)
+		for _, ord := range ords[lo:hi] {
+			bx, by, bz := l.Mask.Dim.Coords(ord)
+			blocks = append(blocks, l.Grid.Extract(l.BlockRegion(bx, by, bz)))
+		}
+		blob, _, err := sz.CompressBlocks(blocks, opts)
+		return blob, err
+	}
+
+	workers := mw.workers()
+	if workers == 1 {
+		// Serial path: gather, compress, and flush one batch at a time.
+		for b := 0; b < nbatch; b++ {
+			blob, err := compress(b)
+			if err != nil {
+				return fmt.Errorf("archive: level %d batch %d: %w", liIdx, b, err)
+			}
+			if err := mw.w.writeFrame(blob, &idx); err != nil {
+				return err
+			}
+		}
+		mw.member.Levels = append(mw.member.Levels, idx)
+		return nil
+	}
+
+	// Parallel path: a bounded pool compresses batches out of order while
+	// this goroutine flushes them in batch order, so the index layout
+	// matches the serial path exactly and each frame streams out as soon
+	// as its predecessors have. The window semaphore caps batches that
+	// are in flight or compressed-but-unwritten, bounding both gathered
+	// cells and buffered frames to ~workers batches even when one slow
+	// batch heads the queue.
+	var (
+		mu     sync.Mutex
+		cond   = sync.NewCond(&mu)
+		blobs  = make([][]byte, nbatch)
+		errs   = make([]error, nbatch)
+		done   = make([]bool, nbatch)
+		wg     sync.WaitGroup
+		window = make(chan struct{}, workers)
+		stop   = make(chan struct{})
+	)
+	// The spawner holds its own WaitGroup slot for its whole life, so the
+	// nested Add calls always run while the counter is positive and
+	// fail()'s Wait cannot return before every spawned worker is counted.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := 0; b < nbatch; b++ {
+			select {
+			case window <- struct{}{}:
+			case <-stop:
+				return
+			}
+			wg.Add(1)
+			go func(b int) {
+				defer wg.Done()
+				blob, err := compress(b)
+				mu.Lock()
+				blobs[b], errs[b], done[b] = blob, err, true
+				cond.Broadcast()
+				mu.Unlock()
+			}(b)
+		}
+	}()
+	fail := func(err error) error {
+		close(stop)
+		wg.Wait()
+		return err
+	}
+	for b := 0; b < nbatch; b++ {
+		mu.Lock()
+		for !done[b] {
+			cond.Wait()
+		}
+		blob, err := blobs[b], errs[b]
+		blobs[b] = nil
+		mu.Unlock()
+		if err != nil {
+			return fail(fmt.Errorf("archive: level %d batch %d: %w", liIdx, b, err))
+		}
+		if err := mw.w.writeFrame(blob, &idx); err != nil {
+			return fail(err)
+		}
+		<-window
+	}
+	mw.member.Levels = append(mw.member.Levels, idx)
+	return nil
+}
+
+// writeFrame emits one batch frame and records it in the level index.
+func (w *Writer) writeFrame(blob []byte, idx *LevelIndex) error {
+	if _, err := w.w.Write(blob); err != nil {
+		return fmt.Errorf("archive: writing frame: %w", err)
+	}
+	idx.Batches = append(idx.Batches, BatchRecord{Offset: w.off, Length: int64(len(blob))})
+	w.off += int64(len(blob))
+	return nil
+}
+
+// Close seals the member and adds it to the archive index.
+func (mw *MemberWriter) Close() error {
+	if mw.done {
+		return nil
+	}
+	mw.done = true
+	if len(mw.member.Levels) == 0 {
+		mw.w.cur = nil
+		return fmt.Errorf("archive: member %q has no levels", mw.member.Name)
+	}
+	mw.w.members = append(mw.w.members, mw.member)
+	mw.w.cur = nil
+	return nil
+}
+
+// Close writes the footer index and trailer. The underlying io.Writer is
+// not closed. After Close the Writer rejects further members.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	if w.cur != nil {
+		return fmt.Errorf("archive: member %q still open", w.cur.member.Name)
+	}
+	w.closed = true
+	footer, err := encodeFooter(w.members)
+	if err != nil {
+		return err
+	}
+	if _, err := w.w.Write(footer); err != nil {
+		return fmt.Errorf("archive: writing footer: %w", err)
+	}
+	trailer := make([]byte, 0, trailerLen)
+	n := uint64(len(footer))
+	for i := 0; i < 8; i++ {
+		trailer = append(trailer, byte(n>>(8*i)))
+	}
+	trailer = append(trailer, trailerMagic[:]...)
+	if _, err := w.w.Write(trailer); err != nil {
+		return fmt.Errorf("archive: writing trailer: %w", err)
+	}
+	w.off += int64(len(footer)) + trailerLen
+	return nil
+}

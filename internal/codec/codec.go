@@ -172,6 +172,49 @@ type Codec interface {
 
 const containerMagic = 0x54414343 // "TACC"
 
+// EncodeMask serializes an occupancy mask as bit-packed bytes passed
+// through DEFLATE — the representation both the in-memory container and
+// the on-disk archive footer store (one bit per unit block before the
+// lossless stage, the "negligible metadata overhead" of Sec. 3.1).
+func EncodeMask(m *grid.Mask) ([]byte, error) {
+	packed := make([]byte, (len(m.Bits)+7)/8)
+	for i, b := range m.Bits {
+		if b {
+			packed[i/8] |= 1 << (i % 8)
+		}
+	}
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, flate.BestCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(packed); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeMask inverts EncodeMask, allocating a mask of the given dims.
+func DecodeMask(d grid.Dims, comp []byte) (*grid.Mask, error) {
+	fr := flate.NewReader(bytes.NewReader(comp))
+	packed, err := io.ReadAll(fr)
+	fr.Close()
+	if err != nil {
+		return nil, fmt.Errorf("codec: inflating mask: %w", err)
+	}
+	m := grid.NewMask(d)
+	if len(packed) != (len(m.Bits)+7)/8 {
+		return nil, fmt.Errorf("codec: mask is %d bytes, want %d", len(packed), (len(m.Bits)+7)/8)
+	}
+	for i := range m.Bits {
+		m.Bits[i] = packed[i/8]&(1<<(i%8)) != 0
+	}
+	return m, nil
+}
+
 // Skeleton is the structural part of a dataset: everything except values.
 type Skeleton struct {
 	Name   string
@@ -224,24 +267,11 @@ func EncodeContainer(codecID byte, sk Skeleton, body []byte) ([]byte, error) {
 		out = bitio.AppendUvarint(out, uint64(li.Dims.Y))
 		out = bitio.AppendUvarint(out, uint64(li.Dims.Z))
 		out = bitio.AppendUvarint(out, uint64(li.UnitBlock))
-		packed := make([]byte, (len(li.Mask.Bits)+7)/8)
-		for i, b := range li.Mask.Bits {
-			if b {
-				packed[i/8] |= 1 << (i % 8)
-			}
-		}
-		var buf bytes.Buffer
-		fw, err := flate.NewWriter(&buf, flate.BestCompression)
+		comp, err := EncodeMask(li.Mask)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := fw.Write(packed); err != nil {
-			return nil, err
-		}
-		if err := fw.Close(); err != nil {
-			return nil, err
-		}
-		out = bitio.AppendBytes(out, buf.Bytes())
+		out = bitio.AppendBytes(out, comp)
 	}
 	return append(out, body...), nil
 }
@@ -306,18 +336,9 @@ func DecodeContainer(blob []byte, wantCodecID byte) (Skeleton, []byte, error) {
 			return sk, nil, err
 		}
 		blob = blob[n:]
-		fr := flate.NewReader(bytes.NewReader(comp))
-		packed, err := io.ReadAll(fr)
-		fr.Close()
+		li.Mask, err = DecodeMask(li.Dims.Div(li.UnitBlock), comp)
 		if err != nil {
 			return sk, nil, fmt.Errorf("codec: level %d mask: %w", i, err)
-		}
-		li.Mask = grid.NewMask(li.Dims.Div(li.UnitBlock))
-		if len(packed) != (len(li.Mask.Bits)+7)/8 {
-			return sk, nil, fmt.Errorf("codec: level %d mask is %d bytes, want %d", i, len(packed), (len(li.Mask.Bits)+7)/8)
-		}
-		for j := range li.Mask.Bits {
-			li.Mask.Bits[j] = packed[j/8]&(1<<(j%8)) != 0
 		}
 		sk.Levels = append(sk.Levels, li)
 	}

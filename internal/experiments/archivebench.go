@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/codec"
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// ArchiveBenchResult is the machine-readable archive-throughput record
+// cmd/benchall -json emits, tracking the seekable-container hot paths
+// (streaming write, full-member read, and the two random-access queries)
+// across PRs.
+type ArchiveBenchResult struct {
+	Members          int     `json:"members"`
+	OriginalBytes    int64   `json:"original_bytes"`
+	ArchiveBytes     int64   `json:"archive_bytes"`
+	CompressionRatio float64 `json:"compression_ratio"`
+
+	WriteSeconds float64 `json:"write_seconds"`
+	WriteMBps    float64 `json:"write_mb_per_s"`
+
+	ExtractMemberSeconds   float64 `json:"extract_member_seconds"`
+	ExtractMemberMBps      float64 `json:"extract_member_mb_per_s"`
+	ExtractMemberBytesRead int64   `json:"extract_member_bytes_read"`
+
+	// Bytes the random-access paths touched, as fractions of the archive:
+	// the random-access claim, quantified.
+	ExtractLevelBytesRead  int64   `json:"extract_level_bytes_read"`
+	ExtractLevelFraction   float64 `json:"extract_level_fraction"`
+	ExtractRegionBytesRead int64   `json:"extract_region_bytes_read"`
+	ExtractRegionFraction  float64 `json:"extract_region_fraction"`
+}
+
+type countingReaderAt struct {
+	r    io.ReaderAt
+	read atomic.Int64
+}
+
+func (c *countingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n, err := c.r.ReadAt(p, off)
+	c.read.Add(int64(n))
+	return n, err
+}
+
+// ArchiveBench writes the three Run1 timesteps into an in-memory archive
+// and measures the write and read paths.
+func ArchiveBench(env *Env) (ArchiveBenchResult, error) {
+	var res ArchiveBenchResult
+	names := []string{"Run1_Z10", "Run1_Z5", "Run1_Z2"}
+	cfg := codec.Config{ErrorBound: 1e9, Workers: -1}
+
+	var buf bytes.Buffer
+	w, err := archive.NewWriter(&buf)
+	if err != nil {
+		return res, err
+	}
+	var orig int64
+	start := time.Now()
+	for _, name := range names {
+		ds, err := env.Dataset(name, sim.BaryonDensity)
+		if err != nil {
+			return res, err
+		}
+		orig += int64(ds.OriginalBytes())
+		if err := w.AddDataset(ds, cfg); err != nil {
+			return res, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return res, err
+	}
+	res.WriteSeconds = time.Since(start).Seconds()
+	res.Members = len(names)
+	res.OriginalBytes = orig
+	res.ArchiveBytes = int64(buf.Len())
+	res.CompressionRatio = float64(orig) / float64(buf.Len())
+	res.WriteMBps = float64(orig) / 1e6 / res.WriteSeconds
+
+	cr := &countingReaderAt{r: bytes.NewReader(buf.Bytes())}
+	r, err := archive.Open(cr, int64(buf.Len()))
+	if err != nil {
+		return res, err
+	}
+
+	before := cr.read.Load()
+	start = time.Now()
+	ds, err := r.Extract(0)
+	if err != nil {
+		return res, err
+	}
+	res.ExtractMemberSeconds = time.Since(start).Seconds()
+	res.ExtractMemberMBps = float64(ds.OriginalBytes()) / 1e6 / res.ExtractMemberSeconds
+	res.ExtractMemberBytesRead = cr.read.Load() - before
+
+	before = cr.read.Load()
+	if _, err := r.ExtractLevel(1, 1); err != nil {
+		return res, err
+	}
+	res.ExtractLevelBytesRead = cr.read.Load() - before
+	res.ExtractLevelFraction = float64(res.ExtractLevelBytesRead) / float64(buf.Len())
+
+	fd := r.Members()[0].Levels[0].Dims
+	roi := grid.Region{X1: fd.X / 2, Y1: fd.Y / 2, Z1: fd.Z / 2}
+	before = cr.read.Load()
+	if _, err := r.ExtractRegion(0, roi); err != nil {
+		return res, err
+	}
+	res.ExtractRegionBytesRead = cr.read.Load() - before
+	res.ExtractRegionFraction = float64(res.ExtractRegionBytesRead) / float64(buf.Len())
+	return res, nil
+}

@@ -42,6 +42,20 @@ func (m *Mask) Density() float64 {
 	return float64(m.Count()) / float64(len(m.Bits))
 }
 
+// OccupiedIndices returns the linear indices of all set bits in row-major
+// order (z fastest) — the canonical block ordering every mask-driven
+// traversal in this repository uses. Dim.Coords recovers the (x,y,z)
+// coordinates of each entry.
+func (m *Mask) OccupiedIndices() []int {
+	out := make([]int, 0, m.Count())
+	for i, b := range m.Bits {
+		if b {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // Fill sets every bit to v.
 func (m *Mask) Fill(v bool) {
 	for i := range m.Bits {

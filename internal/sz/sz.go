@@ -523,9 +523,9 @@ func seal[T grid.Float](kind int, dims []grid.Dims, n int, eb float64, opts Opti
 	return out, Stats{N: n, EffectiveEB: eb, Literals: q.nlit, CompressedLen: len(out)}, nil
 }
 
-// unseal parses a payload and returns the header, code stream and literal
-// pool.
-func unseal(blob []byte, wantKind int) (header, []uint32, []byte, error) {
+// parseHeader decodes the payload header and returns it plus the remaining
+// bytes (the code and literal sections).
+func parseHeader(blob []byte) (header, []byte, error) {
 	var h header
 	u := func() (uint64, error) {
 		v, k, err := bitio.Uvarint(blob)
@@ -537,57 +537,96 @@ func unseal(blob []byte, wantKind int) (header, []uint32, []byte, error) {
 	}
 	m, err := u()
 	if err != nil || m != magic {
-		return h, nil, nil, fmt.Errorf("sz: bad magic")
+		return h, nil, fmt.Errorf("sz: bad magic")
 	}
 	ver, err := u()
 	if err != nil || ver != version {
-		return h, nil, nil, fmt.Errorf("sz: unsupported version")
+		return h, nil, fmt.Errorf("sz: unsupported version")
 	}
 	kind, err := u()
 	if err != nil {
-		return h, nil, nil, err
+		return h, nil, err
 	}
 	h.kind = int(kind)
-	if h.kind != wantKind {
-		return h, nil, nil, fmt.Errorf("sz: payload kind %d, want %d", h.kind, wantKind)
-	}
 	n, err := u()
 	if err != nil {
-		return h, nil, nil, err
+		return h, nil, err
 	}
 	h.n = int(n)
 	ebBits, err := u()
 	if err != nil {
-		return h, nil, nil, err
+		return h, nil, err
 	}
 	h.eb = math.Float64frombits(ebBits)
 	qb, err := u()
 	if err != nil {
-		return h, nil, nil, err
+		return h, nil, err
 	}
 	h.quantBits = int(qb)
 	if h.quantBits < 2 || h.quantBits > 30 {
-		return h, nil, nil, fmt.Errorf("sz: corrupt quantBits %d", h.quantBits)
+		return h, nil, fmt.Errorf("sz: corrupt quantBits %d", h.quantBits)
 	}
 	ll, err := u()
 	if err != nil {
-		return h, nil, nil, err
+		return h, nil, err
 	}
 	h.lossless = ll == 1
 	nd, err := u()
 	if err != nil {
-		return h, nil, nil, err
+		return h, nil, err
 	}
 	for i := uint64(0); i < nd; i++ {
 		var d grid.Dims
 		for _, p := range []*int{&d.X, &d.Y, &d.Z} {
 			v, err := u()
 			if err != nil {
-				return h, nil, nil, err
+				return h, nil, err
 			}
 			*p = int(v)
 		}
 		h.dims = append(h.dims, d)
+	}
+	return h, blob, nil
+}
+
+// BatchInfo describes a block-batch payload without decoding its streams.
+type BatchInfo struct {
+	BlockDims   grid.Dims // shape of every block in the batch
+	Blocks      int       // number of blocks
+	EffectiveEB float64   // absolute error bound baked into the stream
+	QuantBits   int
+}
+
+// PeekBatch parses only the header of a CompressBlocks payload, letting
+// callers (the archive reader, listings) validate geometry or report the
+// applied bound without paying for entropy decoding.
+func PeekBatch(blob []byte) (BatchInfo, error) {
+	h, _, err := parseHeader(blob)
+	if err != nil {
+		return BatchInfo{}, err
+	}
+	if h.kind != kindBatch {
+		return BatchInfo{}, fmt.Errorf("sz: payload kind %d, want %d", h.kind, kindBatch)
+	}
+	if len(h.dims) != 2 {
+		return BatchInfo{}, fmt.Errorf("sz: batch payload with %d dim records", len(h.dims))
+	}
+	d, count := h.dims[0], h.dims[1].X
+	if count <= 0 || d.Count()*count != h.n {
+		return BatchInfo{}, fmt.Errorf("sz: batch geometry %v × %d does not cover %d values", d, count, h.n)
+	}
+	return BatchInfo{BlockDims: d, Blocks: count, EffectiveEB: h.eb, QuantBits: h.quantBits}, nil
+}
+
+// unseal parses a payload and returns the header, code stream and literal
+// pool.
+func unseal(blob []byte, wantKind int) (header, []uint32, []byte, error) {
+	h, blob, err := parseHeader(blob)
+	if err != nil {
+		return h, nil, nil, err
+	}
+	if h.kind != wantKind {
+		return h, nil, nil, fmt.Errorf("sz: payload kind %d, want %d", h.kind, wantKind)
 	}
 
 	huff, k, err := bitio.Bytes(blob)

@@ -18,11 +18,14 @@ package tac
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/amr"
+	"repro/internal/archive"
 	"repro/internal/baseline"
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/sim"
 	"repro/internal/sz"
 )
@@ -115,3 +118,33 @@ func Load(path string) (*Dataset, error) { return amr.Load(path) }
 
 // Save writes a dataset as a .amr snapshot.
 func Save(ds *Dataset, path string) error { return ds.Save(path) }
+
+// Region is an axis-aligned half-open box of cells, used to address
+// spatial subsets of an archive member in finest-level coordinates.
+type Region = grid.Region
+
+// ArchiveWriter streams snapshot members into a seekable .taca archive.
+type ArchiveWriter = archive.Writer
+
+// ArchiveReader is a random-access view of a .taca archive, safe for
+// concurrent extraction.
+type ArchiveReader = archive.Reader
+
+// ArchiveMember is one snapshot × field entry of an archive index.
+type ArchiveMember = archive.Member
+
+// NewArchive starts a TACA archive on w. Append snapshots with
+// AddDataset (or BeginMember/AddLevel for sequences larger than memory)
+// and seal the index with Close.
+func NewArchive(w io.Writer) (*ArchiveWriter, error) { return archive.NewWriter(w) }
+
+// OpenArchive opens an archive from any io.ReaderAt covering size bytes.
+func OpenArchive(r io.ReaderAt, size int64) (*ArchiveReader, error) {
+	return archive.Open(r, size)
+}
+
+// OpenArchiveFile opens a .taca archive from disk; the returned reader
+// must be closed.
+func OpenArchiveFile(path string) (*archive.FileReader, error) {
+	return archive.OpenFile(path)
+}
