@@ -29,6 +29,7 @@ type report struct {
 	GoMaxProcs int                            `json:"gomaxprocs"`
 	Exhibits   []exhibitTiming                `json:"exhibits"`
 	Archive    experiments.ArchiveBenchResult `json:"archive"`
+	Engine     experiments.EngineBenchResult  `json:"engine"`
 	TotalSecs  float64                        `json:"total_seconds"`
 }
 
@@ -74,6 +75,11 @@ func main() {
 			log.Fatalf("archive bench: %v", err)
 		}
 		rep.Archive = arch
+		eng, err := experiments.EngineBench(env)
+		if err != nil {
+			log.Fatalf("engine bench: %v", err)
+		}
+		rep.Engine = eng
 		rep.TotalSecs = time.Since(start).Seconds()
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -85,6 +91,9 @@ func main() {
 		fmt.Printf("\n[wrote %s: archive write %.1f MB/s, member read %.1f MB/s, level read %.1f%%, ROI read %.1f%% of archive]\n",
 			*jsonPath, arch.WriteMBps, arch.ExtractMemberMBps,
 			100*arch.ExtractLevelFraction, 100*arch.ExtractRegionFraction)
+		fmt.Printf("[engine: compress %.0f allocs/op %.1f MB/s; decompress %.1f → %.1f MB/s (%.2fx with Workers=-1)]\n",
+			eng.CompressAllocsPerOp, eng.CompressMBps,
+			eng.DecompressSerialMBps, eng.DecompressParallelMBps, eng.DecompressSpeedup)
 	}
 	fmt.Printf("\n[benchall completed in %v at scale 1/%d]\n", time.Since(start).Round(time.Second), *scale)
 }

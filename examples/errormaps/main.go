@@ -55,7 +55,7 @@ func renderStrategies(env *experiments.Env, dir, prefix string, l *amr.Level, eb
 			log.Fatal(err)
 		}
 		recon := amr.NewLevel(l.Grid.Dim, l.UnitBlock)
-		copy(recon.Mask.Bits, l.Mask.Bits)
+		recon.Mask.CopyFrom(l.Mask)
 		if err := core.DecompressLevel(recon, blob); err != nil {
 			log.Fatal(err)
 		}

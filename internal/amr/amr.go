@@ -19,6 +19,10 @@ import (
 // paper's bit-rates are quoted against 32 bits/value.
 type Value = float32
 
+// ValueBytes is the uncompressed storage width of one Value, the unit all
+// compression-ratio accounting in this repository divides by.
+const ValueBytes = 4
+
 // Level is one refinement level of a dataset.
 type Level struct {
 	// Grid holds the level's values on its full extent. Cells outside
@@ -145,9 +149,9 @@ func (ds *Dataset) StoredCells() int {
 	return n
 }
 
-// OriginalBytes returns the uncompressed size in bytes (4 bytes per stored
+// OriginalBytes returns the uncompressed size in bytes (ValueBytes per stored
 // single-precision cell), the numerator of every compression ratio.
-func (ds *Dataset) OriginalBytes() int { return 4 * ds.StoredCells() }
+func (ds *Dataset) OriginalBytes() int { return ValueBytes * ds.StoredCells() }
 
 // Densities returns the per-level densities, fine to coarse.
 func (ds *Dataset) Densities() []float64 {

@@ -76,7 +76,7 @@ func TestMaskedValuesRoundTrip(t *testing.T) {
 		t.Fatalf("MaskedValues len %d, want %d", len(vals), l.StoredCells())
 	}
 	clone := NewLevel(l.Grid.Dim, l.UnitBlock)
-	copy(clone.Mask.Bits, l.Mask.Bits)
+	clone.Mask.CopyFrom(l.Mask)
 	rest := clone.SetMaskedValues(vals)
 	if len(rest) != 0 {
 		t.Fatalf("SetMaskedValues left %d values", len(rest))
@@ -145,11 +145,11 @@ func TestCloneDeep(t *testing.T) {
 	ds := buildTwoLevel(t)
 	c := ds.Clone()
 	c.Levels[0].Grid.Data[0] = 999
-	c.Levels[0].Mask.Bits[0] = !c.Levels[0].Mask.Bits[0]
+	c.Levels[0].Mask.SetIndex(0, !c.Levels[0].Mask.AtIndex(0))
 	if ds.Levels[0].Grid.Data[0] == 999 {
 		t.Fatal("Clone shares grid storage")
 	}
-	if ds.Levels[0].Mask.Bits[0] == c.Levels[0].Mask.Bits[0] {
+	if ds.Levels[0].Mask.AtIndex(0) == c.Levels[0].Mask.AtIndex(0) {
 		t.Fatal("Clone shares mask storage")
 	}
 }

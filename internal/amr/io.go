@@ -58,12 +58,7 @@ func (ds *Dataset) Write(w io.Writer) error {
 			}
 		}
 		// Packed mask bits.
-		packed := make([]byte, (len(l.Mask.Bits)+7)/8)
-		for i, b := range l.Mask.Bits {
-			if b {
-				packed[i/8] |= 1 << (i % 8)
-			}
-		}
+		packed := l.Mask.AppendPacked(make([]byte, 0, l.Mask.PackedLen()))
 		if _, err := bw.Write(packed); err != nil {
 			return err
 		}
@@ -158,12 +153,12 @@ func ReadFrom(r io.Reader) (*Dataset, error) {
 			return nil, fmt.Errorf("amr: level %d unit block %d does not divide dims %v", li, ub, d)
 		}
 		l := NewLevel(d, int(ub))
-		packed := make([]byte, (len(l.Mask.Bits)+7)/8)
+		packed := make([]byte, l.Mask.PackedLen())
 		if _, err := io.ReadFull(br, packed); err != nil {
 			return nil, fmt.Errorf("amr: reading level %d mask: %w", li, err)
 		}
-		for i := range l.Mask.Bits {
-			l.Mask.Bits[i] = packed[i/8]&(1<<(i%8)) != 0
+		if err := l.Mask.SetPacked(packed); err != nil {
+			return nil, fmt.Errorf("amr: level %d mask: %w", li, err)
 		}
 		nv, err := readU32()
 		if err != nil {

@@ -113,7 +113,7 @@ func TestRoundTrip(t *testing.T) {
 		}
 		for li, l := range ds.Levels {
 			rl := recon.Levels[li]
-			if !bytes.Equal(boolBytes(l.Mask.Bits), boolBytes(rl.Mask.Bits)) {
+			if !bytes.Equal(l.Mask.AppendPacked(nil), rl.Mask.AppendPacked(nil)) {
 				t.Fatalf("member %d level %d mask mismatch", i, li)
 			}
 			if worst := maskedMaxErr(l, rl, l.Mask); worst > testEB {
@@ -121,16 +121,6 @@ func TestRoundTrip(t *testing.T) {
 			}
 		}
 	}
-}
-
-func boolBytes(bits []bool) []byte {
-	out := make([]byte, len(bits))
-	for i, b := range bits {
-		if b {
-			out[i] = 1
-		}
-	}
-	return out
 }
 
 func TestFind(t *testing.T) {

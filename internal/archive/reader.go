@@ -175,9 +175,7 @@ func (r *Reader) ExtractRegion(i int, roi grid.Region) (*amr.Dataset, error) {
 		}
 		want := grid.NewMask(idx.Mask.Dim)
 		want.FillRegion(br.Intersect(want.Dim), true)
-		for j := range want.Bits {
-			want.Bits[j] = want.Bits[j] && idx.Mask.Bits[j]
-		}
+		want.And(idx.Mask)
 		wants[li] = want
 		scale *= m.Ratio
 	}
@@ -216,7 +214,7 @@ func (r *Reader) extractLevel(m *Member, liIdx int, want *grid.Mask) (*amr.Level
 	l := amr.NewLevel(idx.Dims, idx.UnitBlock)
 	ords := idx.Mask.OccupiedIndices()
 	if want == nil {
-		copy(l.Mask.Bits, idx.Mask.Bits)
+		l.Mask.CopyFrom(idx.Mask)
 	} else if want.Dim != idx.Mask.Dim {
 		return nil, fmt.Errorf("archive: want mask dims %v, level has %v", want.Dim, idx.Mask.Dim)
 	}
@@ -233,7 +231,7 @@ func (r *Reader) extractLevel(m *Member, liIdx int, want *grid.Mask) (*amr.Level
 		if want != nil {
 			hit := false
 			for _, ord := range ords[lo:hi] {
-				if want.Bits[ord] {
+				if want.AtIndex(ord) {
 					hit = true
 					break
 				}
@@ -271,22 +269,35 @@ func (r *Reader) extractLevel(m *Member, liIdx int, want *grid.Mask) (*amr.Level
 			return fmt.Errorf("batch %d holds %d×%v blocks, index implies %d×%v",
 				j.batch, info.Blocks, info.BlockDims, count, wantDims)
 		}
-		blocks, err := sz.DecompressBlocks[amr.Value](blob)
+		dec := decoders.Get()
+		defer decoders.Put(dec)
+		blocks, err := dec.DecompressBlocks(blob)
 		if err != nil {
 			return fmt.Errorf("batch %d: %w", j.batch, err)
 		}
 		for k, ord := range ords[j.lo : j.lo+count] {
-			if want != nil && !want.Bits[ord] {
+			if want != nil && !want.AtIndex(ord) {
 				continue
 			}
 			bx, by, bz := idx.Mask.Dim.Coords(ord)
 			l.Grid.SetRegion(l.BlockRegion(bx, by, bz), blocks[k].Data)
-			if want != nil {
-				// Distinct indices per batch; concurrent writes are safe.
-				l.Mask.Bits[ord] = true
-			}
 		}
 		return nil
+	}
+	// Mark the extracted blocks after the decode fan-out: bits of one packed
+	// word are shared between batches, so the mask cannot be written from
+	// concurrent workers.
+	markWanted := func() {
+		if want == nil {
+			return
+		}
+		for _, j := range jobs {
+			for _, ord := range ords[j.lo : j.lo+idx.blockCount(j.batch, len(ords))] {
+				if want.AtIndex(ord) {
+					l.Mask.SetIndex(ord, true)
+				}
+			}
+		}
 	}
 	if workers == 1 {
 		for _, j := range jobs {
@@ -294,6 +305,7 @@ func (r *Reader) extractLevel(m *Member, liIdx int, want *grid.Mask) (*amr.Level
 				return nil, err
 			}
 		}
+		markWanted()
 		return l, nil
 	}
 	errs := make([]error, len(jobs))
@@ -314,5 +326,6 @@ func (r *Reader) extractLevel(m *Member, liIdx int, want *grid.Mask) (*amr.Level
 			return nil, err
 		}
 	}
+	markWanted()
 	return l, nil
 }

@@ -13,6 +13,15 @@ import (
 	"repro/internal/sz"
 )
 
+// encoders and decoders keep warm sz scratch shared by all writers and
+// readers in the process: each worker of the batch pipelines borrows one
+// for the duration of a frame, so steady-state archive traffic stops
+// allocating code streams, recon grids, Huffman tables and DEFLATE state.
+var (
+	encoders sz.EncoderPool[amr.Value]
+	decoders sz.DecoderPool[amr.Value]
+)
+
 // Writer appends members to a TACA archive, streaming frames to the
 // underlying io.Writer as they are compressed. Only the unit-block batches
 // currently being compressed are held uncompressed in memory (one per
@@ -177,7 +186,9 @@ func (mw *MemberWriter) AddLevel(l *amr.Level) error {
 			bx, by, bz := l.Mask.Dim.Coords(ord)
 			blocks = append(blocks, l.Grid.Extract(l.BlockRegion(bx, by, bz)))
 		}
-		blob, _, err := sz.CompressBlocks(blocks, opts)
+		enc := encoders.Get()
+		defer encoders.Put(enc)
+		blob, _, err := enc.CompressBlocks(blocks, opts)
 		return blob, err
 	}
 

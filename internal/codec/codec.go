@@ -177,12 +177,7 @@ const containerMagic = 0x54414343 // "TACC"
 // the on-disk archive footer store (one bit per unit block before the
 // lossless stage, the "negligible metadata overhead" of Sec. 3.1).
 func EncodeMask(m *grid.Mask) ([]byte, error) {
-	packed := make([]byte, (len(m.Bits)+7)/8)
-	for i, b := range m.Bits {
-		if b {
-			packed[i/8] |= 1 << (i % 8)
-		}
-	}
+	packed := m.AppendPacked(make([]byte, 0, m.PackedLen()))
 	var buf bytes.Buffer
 	fw, err := flate.NewWriter(&buf, flate.BestCompression)
 	if err != nil {
@@ -197,20 +192,19 @@ func EncodeMask(m *grid.Mask) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// DecodeMask inverts EncodeMask, allocating a mask of the given dims.
+// DecodeMask inverts EncodeMask, allocating a mask of the given dims. The
+// inflate is capped at the mask's own packed size, so a corrupt stream
+// cannot balloon past it.
 func DecodeMask(d grid.Dims, comp []byte) (*grid.Mask, error) {
+	m := grid.NewMask(d)
 	fr := flate.NewReader(bytes.NewReader(comp))
-	packed, err := io.ReadAll(fr)
+	packed, err := io.ReadAll(io.LimitReader(fr, int64(m.PackedLen())+1))
 	fr.Close()
 	if err != nil {
 		return nil, fmt.Errorf("codec: inflating mask: %w", err)
 	}
-	m := grid.NewMask(d)
-	if len(packed) != (len(m.Bits)+7)/8 {
-		return nil, fmt.Errorf("codec: mask is %d bytes, want %d", len(packed), (len(m.Bits)+7)/8)
-	}
-	for i := range m.Bits {
-		m.Bits[i] = packed[i/8]&(1<<(i%8)) != 0
+	if err := m.SetPacked(packed); err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
 	}
 	return m, nil
 }
@@ -246,7 +240,7 @@ func (sk Skeleton) NewDataset() *amr.Dataset {
 	ds := &amr.Dataset{Name: sk.Name, Field: sk.Field, Ratio: sk.Ratio}
 	for _, li := range sk.Levels {
 		l := amr.NewLevel(li.Dims, li.UnitBlock)
-		copy(l.Mask.Bits, li.Mask.Bits)
+		l.Mask.CopyFrom(li.Mask)
 		ds.Levels = append(ds.Levels, l)
 	}
 	return ds
@@ -328,8 +322,22 @@ func DecodeContainer(blob []byte, wantCodecID byte) (Skeleton, []byte, error) {
 			*p = int(v)
 			blob = blob[n:]
 		}
+		// Bound the extents and their product before allocating the mask,
+		// so corrupt containers error instead of over-allocating.
+		if li.Dims.X > 1<<20 || li.Dims.Y > 1<<20 || li.Dims.Z > 1<<20 {
+			return sk, nil, fmt.Errorf("codec: implausible level %d dims %v", i, li.Dims)
+		}
+		if cells := uint64(li.Dims.X) * uint64(li.Dims.Y) * uint64(li.Dims.Z); cells > 1<<40 {
+			return sk, nil, fmt.Errorf("codec: implausible level %d cell count %d", i, cells)
+		}
 		if li.UnitBlock <= 0 || li.Dims.Count() <= 0 {
 			return sk, nil, fmt.Errorf("codec: corrupt level %d geometry", i)
+		}
+		// NewDataset materializes levels with amr.NewLevel, which panics on
+		// a unit block that does not divide the extents; reject here so
+		// corrupt containers error instead.
+		if li.Dims.X%li.UnitBlock != 0 || li.Dims.Y%li.UnitBlock != 0 || li.Dims.Z%li.UnitBlock != 0 {
+			return sk, nil, fmt.Errorf("codec: level %d unit block %d does not divide dims %v", i, li.UnitBlock, li.Dims)
 		}
 		comp, n, err := bitio.Bytes(blob)
 		if err != nil {

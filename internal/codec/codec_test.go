@@ -44,8 +44,8 @@ func TestContainerRoundTrip(t *testing.T) {
 		if got.Levels[li].Dims != sk.Levels[li].Dims || got.Levels[li].UnitBlock != sk.Levels[li].UnitBlock {
 			t.Fatalf("level %d geometry mismatch", li)
 		}
-		for i := range sk.Levels[li].Mask.Bits {
-			if got.Levels[li].Mask.Bits[i] != sk.Levels[li].Mask.Bits[i] {
+		for i := 0; i < sk.Levels[li].Mask.Len(); i++ {
+			if got.Levels[li].Mask.AtIndex(i) != sk.Levels[li].Mask.AtIndex(i) {
 				t.Fatalf("level %d mask bit %d mismatch", li, i)
 			}
 		}

@@ -17,10 +17,16 @@
 // Every extraction is a pure function of the occupancy mask, which the
 // container stores; decompression replays it, so no coordinates are
 // serialized.
+//
+// Both directions run on the pooled sz engine: one-shot TAC values draw
+// Encoder/Decoder scratch from process-wide pools, and Engine pins a
+// private pair for single-goroutine repeated-snapshot campaigns.
 package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/amr"
 	"repro/internal/baseline"
@@ -35,9 +41,23 @@ import (
 // ID is TAC's codec identifier in the shared container format.
 const ID = 1
 
+// encoders and decoders hold warm sz scratch for the one-shot entry
+// points, so even codec.Codec-interface callers stop paying per-call
+// allocation once the process is warm.
+var (
+	encoders sz.EncoderPool[amr.Value]
+	decoders sz.DecoderPool[amr.Value]
+)
+
 // TAC is the hybrid level-wise 3D AMR codec. The zero value is ready to
-// use; configuration travels in codec.Config.
-type TAC struct{}
+// use; compression configuration travels in codec.Config.
+type TAC struct {
+	// Workers bounds the decompress-side fan-out (levels and block batches
+	// decode concurrently): -1 uses all CPUs, 0 or 1 decodes serially, n>1
+	// uses n workers. The compress side reads codec.Config.Workers instead,
+	// which arrives with the dataset.
+	Workers int
+}
 
 // Name implements codec.Codec.
 func (TAC) Name() string { return "TAC" }
@@ -58,8 +78,27 @@ func PickStrategy(density float64, cfg codec.Config) codec.Strategy {
 	}
 }
 
+// resolveWorkers maps the Workers convention (-1 all CPUs, ≤1 serial) to a
+// concrete goroutine count.
+func resolveWorkers(w int) int {
+	switch {
+	case w == -1:
+		return runtime.GOMAXPROCS(0)
+	case w > 1:
+		return w
+	default:
+		return 1
+	}
+}
+
 // Compress implements codec.Codec.
 func (t TAC) Compress(ds *amr.Dataset, cfg codec.Config) ([]byte, error) {
+	enc := encoders.Get()
+	defer encoders.Put(enc)
+	return compress(enc, ds, cfg)
+}
+
+func compress(enc *sz.Encoder[amr.Value], ds *amr.Dataset, cfg codec.Config) ([]byte, error) {
 	cfg = cfg.WithDefaults()
 	if cfg.AdaptiveBaseline && ds.Levels[0].Density() >= cfg.T2 {
 		// Sec. 4.4: a dense finest level means the dataset is close to
@@ -70,7 +109,7 @@ func (t TAC) Compress(ds *amr.Dataset, cfg codec.Config) ([]byte, error) {
 	var body []byte
 	for li, l := range ds.Levels {
 		st := PickStrategy(l.Density(), cfg)
-		sec, err := CompressLevel(l, st, cfg.LevelEB(li, l), cfg)
+		sec, err := compressLevel(enc, l, st, cfg.LevelEB(li, l), cfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: level %d (%s): %w", li, st, err)
 		}
@@ -80,8 +119,18 @@ func (t TAC) Compress(ds *amr.Dataset, cfg codec.Config) ([]byte, error) {
 }
 
 // Decompress implements codec.Codec. It transparently handles payloads the
-// AdaptiveBaseline switch routed to the 3D baseline.
+// AdaptiveBaseline switch routed to the 3D baseline. With Workers set, the
+// level sections fan out across goroutines and each level's block batches
+// decode in parallel.
 func (t TAC) Decompress(blob []byte) (*amr.Dataset, error) {
+	return decompress(blob, resolveWorkers(t.Workers), nil)
+}
+
+// decompress is the shared implementation behind TAC.Decompress and
+// Engine.Decompress: container sniffing, section splitting, and the
+// optional level fan-out. pinned, when non-nil, serves the serial path;
+// parallel paths always borrow per-level decoders from the pool.
+func decompress(blob []byte, workers int, pinned *sz.Decoder[amr.Value]) (*amr.Dataset, error) {
 	if _, _, err := codec.DecodeContainer(blob, baseline.IDUniform3D); err == nil {
 		return baseline.Uniform3D{}.Decompress(blob)
 	}
@@ -90,17 +139,100 @@ func (t TAC) Decompress(blob []byte) (*amr.Dataset, error) {
 		return nil, err
 	}
 	ds := sk.NewDataset()
-	for li, l := range ds.Levels {
+	secs := make([][]byte, len(ds.Levels))
+	for li := range ds.Levels {
 		sec, n, err := bitio.Bytes(body)
 		if err != nil {
 			return nil, fmt.Errorf("core: level %d section: %w", li, err)
 		}
 		body = body[n:]
-		if err := DecompressLevel(l, sec); err != nil {
+		secs[li] = sec
+	}
+	if workers == 1 || len(ds.Levels) == 1 {
+		dec := pinned
+		if dec == nil {
+			dec = decoders.Get()
+			defer decoders.Put(dec)
+		}
+		for li, l := range ds.Levels {
+			if err := decompressLevel(dec, l, secs[li], workers); err != nil {
+				return nil, fmt.Errorf("core: level %d: %w", li, err)
+			}
+		}
+		return ds, nil
+	}
+	// Split the worker budget between the level fan-out and each level's
+	// batch fan-out so total decode goroutines never exceed workers.
+	levelWorkers := min(workers, len(ds.Levels))
+	inner := workers / levelWorkers
+	sem := make(chan struct{}, levelWorkers)
+	errs := make([]error, len(ds.Levels))
+	var wg sync.WaitGroup
+	for li, l := range ds.Levels {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(li int, l *amr.Level) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			dec := decoders.Get()
+			defer decoders.Put(dec)
+			errs[li] = decompressLevel(dec, l, secs[li], inner)
+		}(li, l)
+	}
+	wg.Wait()
+	for li, err := range errs {
+		if err != nil {
 			return nil, fmt.Errorf("core: level %d: %w", li, err)
 		}
 	}
 	return ds, nil
+}
+
+// Engine is a reusable TAC codec instance: it pins one sz Encoder/Decoder
+// pair, so a single-goroutine campaign over many snapshots (archive
+// writing, benchmark sweeps, a serving loop) reuses all compression scratch
+// deterministically instead of going through the process-wide pools. The
+// zero value is ready to use (scratch materializes on first call); an
+// Engine is not safe for concurrent use.
+type Engine struct {
+	// Workers mirrors TAC.Workers for the decompress side.
+	Workers int
+
+	enc *sz.Encoder[amr.Value]
+	dec *sz.Decoder[amr.Value]
+}
+
+// NewEngine returns an Engine; workers bounds the decompress-side fan-out
+// exactly like TAC.Workers.
+func NewEngine(workers int) *Engine {
+	return &Engine{Workers: workers, enc: sz.NewEncoder[amr.Value](), dec: sz.NewDecoder[amr.Value]()}
+}
+
+// init materializes the pinned scratch for zero-value Engines.
+func (e *Engine) init() {
+	if e.enc == nil {
+		e.enc = sz.NewEncoder[amr.Value]()
+	}
+	if e.dec == nil {
+		e.dec = sz.NewDecoder[amr.Value]()
+	}
+}
+
+// Name implements codec.Codec.
+func (e *Engine) Name() string { return "TAC" }
+
+// Compress is TAC.Compress on the engine's pinned scratch.
+func (e *Engine) Compress(ds *amr.Dataset, cfg codec.Config) ([]byte, error) {
+	e.init()
+	return compress(e.enc, ds, cfg)
+}
+
+// Decompress is TAC.Decompress on the engine's pinned scratch. The pinned
+// decoder serves the serial path; a parallel fan-out draws per-level
+// decoders from the process pool instead.
+func (e *Engine) Decompress(blob []byte) (*amr.Dataset, error) {
+	e.init()
+	return decompress(blob, resolveWorkers(e.Workers), e.dec)
 }
 
 // extract runs the chosen sparse extraction over the mask.
@@ -125,6 +257,12 @@ func extract(st codec.Strategy, mask *grid.Mask) ([]kdtree.Box, error) {
 // absolute error bound. It is the unit the Fig. 7/11/12 experiments
 // measure; TAC.Compress calls it per level.
 func CompressLevel(l *amr.Level, st codec.Strategy, eb float64, cfg codec.Config) ([]byte, error) {
+	enc := encoders.Get()
+	defer encoders.Put(enc)
+	return compressLevel(enc, l, st, eb, cfg)
+}
+
+func compressLevel(enc *sz.Encoder[amr.Value], l *amr.Level, st codec.Strategy, eb float64, cfg codec.Config) ([]byte, error) {
 	var out []byte
 	out = append(out, byte(st))
 	opts := sz.Options{ErrorBound: eb, QuantBits: cfg.QuantBits}
@@ -135,7 +273,7 @@ func CompressLevel(l *amr.Level, st codec.Strategy, eb float64, cfg codec.Config
 		if st == codec.GSP {
 			preprocess.GSP(g, l.Mask, l.UnitBlock, cfg.GSP)
 		}
-		blob, _, err := sz.Compress3D(g, opts)
+		blob, _, err := enc.Compress3D(g, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -152,9 +290,9 @@ func CompressLevel(l *amr.Level, st codec.Strategy, eb float64, cfg codec.Config
 			var blob []byte
 			var err error
 			if cfg.Workers > 1 || cfg.Workers == -1 {
-				blob, _, err = sz.CompressBlocksParallel(grids, opts, cfg.Workers)
+				blob, _, err = enc.CompressBlocksParallel(grids, opts, cfg.Workers)
 			} else {
-				blob, _, err = sz.CompressBlocks(grids, opts)
+				blob, _, err = enc.CompressBlocks(grids, opts)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("group %v: %w", grp.Shape, err)
@@ -168,8 +306,21 @@ func CompressLevel(l *amr.Level, st codec.Strategy, eb float64, cfg codec.Config
 }
 
 // DecompressLevel inverts CompressLevel, filling l.Grid (unmasked blocks
-// are zero).
+// are zero). It decodes serially; DecompressLevelWorkers fans the block
+// batches out.
 func DecompressLevel(l *amr.Level, sec []byte) error {
+	return DecompressLevelWorkers(l, sec, 1)
+}
+
+// DecompressLevelWorkers is DecompressLevel with the level's block batches
+// decoded by up to workers goroutines (-1 means all CPUs).
+func DecompressLevelWorkers(l *amr.Level, sec []byte, workers int) error {
+	dec := decoders.Get()
+	defer decoders.Put(dec)
+	return decompressLevel(dec, l, sec, resolveWorkers(workers))
+}
+
+func decompressLevel(dec *sz.Decoder[amr.Value], l *amr.Level, sec []byte, workers int) error {
 	if len(sec) == 0 {
 		return fmt.Errorf("core: empty level section")
 	}
@@ -181,7 +332,7 @@ func DecompressLevel(l *amr.Level, sec []byte) error {
 		if err != nil {
 			return err
 		}
-		g, err := sz.Decompress3D[amr.Value](blob)
+		g, err := dec.Decompress3D(blob)
 		if err != nil {
 			return err
 		}
@@ -218,7 +369,12 @@ func DecompressLevel(l *amr.Level, sec []byte) error {
 				return fmt.Errorf("group %v: %w", grp.Shape, err)
 			}
 			sec = sec[n:]
-			grids, err := sz.DecompressBlocks[amr.Value](blob)
+			var grids []*grid.Grid3[amr.Value]
+			if workers > 1 {
+				grids, err = dec.DecompressBlocksParallel(blob, workers)
+			} else {
+				grids, err = dec.DecompressBlocks(blob)
+			}
 			if err != nil {
 				return fmt.Errorf("group %v: %w", grp.Shape, err)
 			}
@@ -233,3 +389,4 @@ func DecompressLevel(l *amr.Level, sec []byte) error {
 }
 
 var _ codec.Codec = TAC{}
+var _ codec.Codec = (*Engine)(nil)

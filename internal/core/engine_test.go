@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/grid"
+)
+
+// TestEngineMatchesTAC checks that the pinned-scratch Engine — fresh,
+// zero-valued, and warm — produces byte-identical payloads and identical
+// reconstructions to the one-shot TAC codec, serial and parallel.
+func TestEngineMatchesTAC(t *testing.T) {
+	ds := testDataset(t, 0.3, 11)
+	cfg := codec.Config{ErrorBound: 1e9}
+
+	ref, err := TAC{}.Compress(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRecon, err := TAC{}.Decompress(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var zero Engine // zero value must be usable, not just NewEngine's
+	engines := []*Engine{&zero, NewEngine(0), NewEngine(-1), NewEngine(3)}
+	for _, eng := range engines {
+		for round := 0; round < 2; round++ { // second round runs on warm scratch
+			blob, err := eng.Compress(ds, cfg)
+			if err != nil {
+				t.Fatalf("Workers=%d round %d: %v", eng.Workers, round, err)
+			}
+			if !bytes.Equal(blob, ref) {
+				t.Fatalf("Workers=%d round %d: engine payload differs from TAC", eng.Workers, round)
+			}
+			recon, err := eng.Decompress(blob)
+			if err != nil {
+				t.Fatalf("Workers=%d round %d: %v", eng.Workers, round, err)
+			}
+			for li := range refRecon.Levels {
+				if grid.MaxAbsDiff(recon.Levels[li].Grid, refRecon.Levels[li].Grid) != 0 {
+					t.Fatalf("Workers=%d round %d: level %d reconstruction differs from serial TAC", eng.Workers, round, li)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelDecompressMatchesSerialTAC checks the level/batch fan-out of
+// TAC{Workers} against the serial decoder on datasets covering all three
+// strategies.
+func TestParallelDecompressMatchesSerialTAC(t *testing.T) {
+	for _, frac := range []float64{0.1, 0.55, 0.95} {
+		ds := testDataset(t, frac, int64(20+int(frac*100)))
+		blob, err := TAC{}.Compress(ds, codec.Config{ErrorBound: 1e9, Workers: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := TAC{}.Decompress(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{-1, 2, 4} {
+			got, err := TAC{Workers: w}.Decompress(blob)
+			if err != nil {
+				t.Fatalf("frac %v workers %d: %v", frac, w, err)
+			}
+			for li := range ref.Levels {
+				if grid.MaxAbsDiff(got.Levels[li].Grid, ref.Levels[li].Grid) != 0 {
+					t.Fatalf("frac %v workers %d: level %d differs from serial", frac, w, li)
+				}
+				if got.Levels[li].Mask.Count() != ref.Levels[li].Mask.Count() {
+					t.Fatalf("frac %v workers %d: level %d mask differs", frac, w, li)
+				}
+			}
+		}
+	}
+}

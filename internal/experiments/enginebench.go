@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// EngineBenchResult is the machine-readable engine-throughput record
+// cmd/benchall -json emits: allocation cost of the compress path and
+// serial-vs-parallel decompress throughput, tracking the pooled zero-copy
+// codec engine across PRs.
+type EngineBenchResult struct {
+	Dataset       string `json:"dataset"`
+	OriginalBytes int64  `json:"original_bytes"`
+	Workers       int    `json:"workers"` // GOMAXPROCS used by the parallel paths
+
+	// Compress path (Config.Workers=-1) through the pooled engine.
+	CompressNsPerOp     float64 `json:"compress_ns_per_op"`
+	CompressAllocsPerOp float64 `json:"compress_allocs_per_op"`
+	CompressBytesPerOp  float64 `json:"compress_bytes_per_op"`
+	CompressMBps        float64 `json:"compress_mb_per_s"`
+
+	// Decompress path, serial (Workers=0) vs fanned out (Workers=-1).
+	DecompressSerialNsPerOp   float64 `json:"decompress_serial_ns_per_op"`
+	DecompressSerialMBps      float64 `json:"decompress_serial_mb_per_s"`
+	DecompressParallelNsPerOp float64 `json:"decompress_parallel_ns_per_op"`
+	DecompressParallelMBps    float64 `json:"decompress_parallel_mb_per_s"`
+	DecompressAllocsPerOp     float64 `json:"decompress_parallel_allocs_per_op"`
+	DecompressSpeedup         float64 `json:"decompress_speedup"`
+}
+
+// measureLoop runs fn iters times and reports mean wall time and
+// allocation counters per op.
+func measureLoop(iters int, fn func() error) (nsPerOp, allocsPerOp, bytesPerOp float64, err error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err = fn(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := float64(iters)
+	return float64(elapsed.Nanoseconds()) / n,
+		float64(m1.Mallocs-m0.Mallocs) / n,
+		float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+		nil
+}
+
+// EngineBench measures the pooled codec engine on the Run1_Z10 snapshot:
+// compress cost (time and allocs/op with the engine warm) and decompress
+// throughput serial vs Workers=-1.
+func EngineBench(env *Env) (EngineBenchResult, error) {
+	var res EngineBenchResult
+	ds, err := env.Dataset("Run1_Z10", sim.BaryonDensity)
+	if err != nil {
+		return res, err
+	}
+	res.Dataset = ds.Name
+	res.OriginalBytes = int64(ds.OriginalBytes())
+	res.Workers = runtime.GOMAXPROCS(0)
+	cfg := codec.Config{ErrorBound: 1e9, Workers: -1}
+
+	const iters = 6
+	eng := core.NewEngine(0)
+	var blob []byte
+	if blob, err = eng.Compress(ds, cfg); err != nil { // warm the scratch
+		return res, err
+	}
+	res.CompressNsPerOp, res.CompressAllocsPerOp, res.CompressBytesPerOp, err = measureLoop(iters, func() error {
+		blob, err = eng.Compress(ds, cfg)
+		return err
+	})
+	if err != nil {
+		return res, fmt.Errorf("engine bench compress: %w", err)
+	}
+	res.CompressMBps = float64(res.OriginalBytes) / 1e6 / (res.CompressNsPerOp / 1e9)
+
+	serial := core.TAC{Workers: 0}
+	if _, err := serial.Decompress(blob); err != nil {
+		return res, err
+	}
+	res.DecompressSerialNsPerOp, _, _, err = measureLoop(iters, func() error {
+		_, err := serial.Decompress(blob)
+		return err
+	})
+	if err != nil {
+		return res, fmt.Errorf("engine bench serial decompress: %w", err)
+	}
+	res.DecompressSerialMBps = float64(res.OriginalBytes) / 1e6 / (res.DecompressSerialNsPerOp / 1e9)
+
+	parallel := core.TAC{Workers: -1}
+	res.DecompressParallelNsPerOp, res.DecompressAllocsPerOp, _, err = measureLoop(iters, func() error {
+		_, err := parallel.Decompress(blob)
+		return err
+	})
+	if err != nil {
+		return res, fmt.Errorf("engine bench parallel decompress: %w", err)
+	}
+	res.DecompressParallelMBps = float64(res.OriginalBytes) / 1e6 / (res.DecompressParallelNsPerOp / 1e9)
+	res.DecompressSpeedup = res.DecompressParallelMBps / res.DecompressSerialMBps
+	return res, nil
+}

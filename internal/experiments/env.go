@@ -157,7 +157,7 @@ func RunLevel(l *amr.Level, st codec.Strategy, eb float64) (LevelResult, error) 
 	}
 	compTime := time.Since(start)
 	recon := amr.NewLevel(l.Grid.Dim, l.UnitBlock)
-	copy(recon.Mask.Bits, l.Mask.Bits)
+	recon.Mask.CopyFrom(l.Mask)
 	if err := core.DecompressLevel(recon, blob); err != nil {
 		return LevelResult{}, err
 	}
@@ -176,7 +176,7 @@ func RunLevel(l *amr.Level, st codec.Strategy, eb float64) (LevelResult, error) 
 		Bytes:    len(blob),
 		BitRate:  metrics.BitRate(len(blob), n),
 		PSNR:     dist.PSNR(),
-		Ratio:    metrics.CompressionRatio(4*n, len(blob)),
+		Ratio:    metrics.CompressionRatio(amr.ValueBytes*n, len(blob)),
 		Total:    compTime,
 	}, nil
 }

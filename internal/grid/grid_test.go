@@ -171,8 +171,8 @@ func TestSumTableMatchesBruteForce(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		d := Dims{X: rng.Intn(7) + 1, Y: rng.Intn(7) + 1, Z: rng.Intn(7) + 1}
 		m := NewMask(d)
-		for i := range m.Bits {
-			m.Bits[i] = rng.Intn(2) == 0
+		for i := 0; i < m.Len(); i++ {
+			m.SetIndex(i, rng.Intn(2) == 0)
 		}
 		st := NewSumTable(m)
 		for trial := 0; trial < 20; trial++ {

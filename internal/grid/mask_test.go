@@ -1,0 +1,183 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refMask is a plain []bool model the word-packed implementation is
+// checked against.
+type refMask struct {
+	d    Dims
+	bits []bool
+}
+
+func randomPair(seed int64) (*Mask, *refMask) {
+	rng := rand.New(rand.NewSource(seed))
+	d := Dims{X: rng.Intn(9) + 1, Y: rng.Intn(9) + 1, Z: rng.Intn(20) + 1}
+	m := NewMask(d)
+	ref := &refMask{d: d, bits: make([]bool, d.Count())}
+	for i := range ref.bits {
+		v := rng.Intn(2) == 0
+		ref.bits[i] = v
+		m.SetIndex(i, v)
+	}
+	return m, ref
+}
+
+func TestMaskMatchesBoolModel(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		m, ref := randomPair(seed)
+		rng := rand.New(rand.NewSource(seed + 1000))
+
+		wantCount := 0
+		for i, b := range ref.bits {
+			if m.AtIndex(i) != b {
+				t.Fatalf("seed %d: bit %d = %v, want %v", seed, i, m.AtIndex(i), b)
+			}
+			if b {
+				wantCount++
+			}
+		}
+		if m.Count() != wantCount {
+			t.Fatalf("seed %d: Count %d, want %d", seed, m.Count(), wantCount)
+		}
+		occ := m.OccupiedIndices()
+		if len(occ) != wantCount {
+			t.Fatalf("seed %d: %d occupied indices, want %d", seed, len(occ), wantCount)
+		}
+		for k := 1; k < len(occ); k++ {
+			if occ[k] <= occ[k-1] {
+				t.Fatalf("seed %d: OccupiedIndices not strictly ascending at %d", seed, k)
+			}
+		}
+		for _, i := range occ {
+			if !ref.bits[i] {
+				t.Fatalf("seed %d: OccupiedIndices reported clear bit %d", seed, i)
+			}
+		}
+		bools := m.Bools()
+		for i := range bools {
+			if bools[i] != ref.bits[i] {
+				t.Fatalf("seed %d: Bools()[%d] mismatch", seed, i)
+			}
+		}
+
+		// Region fill + count against the model.
+		for trial := 0; trial < 10; trial++ {
+			r := Region{
+				X0: rng.Intn(ref.d.X + 1), Y0: rng.Intn(ref.d.Y + 1), Z0: rng.Intn(ref.d.Z + 1),
+				X1: rng.Intn(ref.d.X + 1), Y1: rng.Intn(ref.d.Y + 1), Z1: rng.Intn(ref.d.Z + 1),
+			}
+			if r.X0 > r.X1 {
+				r.X0, r.X1 = r.X1, r.X0
+			}
+			if r.Y0 > r.Y1 {
+				r.Y0, r.Y1 = r.Y1, r.Y0
+			}
+			if r.Z0 > r.Z1 {
+				r.Z0, r.Z1 = r.Z1, r.Z0
+			}
+			wantN := 0
+			for x := r.X0; x < r.X1; x++ {
+				for y := r.Y0; y < r.Y1; y++ {
+					for z := r.Z0; z < r.Z1; z++ {
+						if ref.bits[ref.d.Index(x, y, z)] {
+							wantN++
+						}
+					}
+				}
+			}
+			if got := m.CountRegion(r); got != wantN {
+				t.Fatalf("seed %d: CountRegion(%v) = %d, want %d", seed, r, got, wantN)
+			}
+			v := rng.Intn(2) == 0
+			m.FillRegion(r, v)
+			for x := r.X0; x < r.X1; x++ {
+				for y := r.Y0; y < r.Y1; y++ {
+					for z := r.Z0; z < r.Z1; z++ {
+						ref.bits[ref.d.Index(x, y, z)] = v
+					}
+				}
+			}
+			for i, b := range ref.bits {
+				if m.AtIndex(i) != b {
+					t.Fatalf("seed %d: after FillRegion(%v,%v) bit %d mismatch", seed, r, v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMaskPackedRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		m, _ := randomPair(seed)
+		packed := m.AppendPacked(nil)
+		if len(packed) != m.PackedLen() {
+			t.Fatalf("seed %d: packed %d bytes, want %d", seed, len(packed), m.PackedLen())
+		}
+		// Bit i must land at byte i/8, bit i%8 — the on-disk layout every
+		// container and .amr snapshot already uses.
+		for i := 0; i < m.Len(); i++ {
+			if (packed[i/8]&(1<<(i%8)) != 0) != m.AtIndex(i) {
+				t.Fatalf("seed %d: packed bit %d mismatch", seed, i)
+			}
+		}
+		back := NewMask(m.Dim)
+		if err := back.SetPacked(packed); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < m.Len(); i++ {
+			if back.AtIndex(i) != m.AtIndex(i) {
+				t.Fatalf("seed %d: round-trip bit %d mismatch", seed, i)
+			}
+		}
+		if err := back.SetPacked(packed[:max(len(packed)-1, 0)]); err == nil && len(packed) > 0 {
+			t.Fatalf("seed %d: SetPacked accepted short input", seed)
+		}
+		// Nonzero padding bits past Len() must be masked off, keeping
+		// Count() honest.
+		if m.Len()%8 != 0 {
+			dirty := append([]byte(nil), packed...)
+			dirty[len(dirty)-1] |= 0x80 << 0 // may or may not be a padding bit
+			dirty[len(dirty)-1] |= ^byte(0) << (m.Len() % 8)
+			if err := back.SetPacked(dirty); err != nil {
+				t.Fatal(err)
+			}
+			if back.Count() != m.Count() {
+				t.Fatalf("seed %d: padding bits leaked into Count: %d vs %d", seed, back.Count(), m.Count())
+			}
+		}
+	}
+}
+
+func TestMaskFillAndAnd(t *testing.T) {
+	d := Dims{X: 3, Y: 5, Z: 7} // 105 bits: exercises a partial tail word
+	m := NewMask(d)
+	m.Fill(true)
+	if m.Count() != d.Count() {
+		t.Fatalf("Fill(true) count %d, want %d", m.Count(), d.Count())
+	}
+	if m.Density() != 1 {
+		t.Fatalf("density %v, want 1", m.Density())
+	}
+	other := NewMask(d)
+	other.FillRegion(Region{X1: 2, Y1: 5, Z1: 7}, true)
+	m.And(other)
+	if m.Count() != other.Count() {
+		t.Fatalf("And: count %d, want %d", m.Count(), other.Count())
+	}
+	m.Fill(false)
+	if m.Count() != 0 {
+		t.Fatalf("Fill(false) count %d", m.Count())
+	}
+	clone := other.Clone()
+	clone.SetIndex(0, !clone.AtIndex(0))
+	if clone.AtIndex(0) == other.AtIndex(0) {
+		t.Fatal("Clone shares backing words")
+	}
+	m.CopyFrom(other)
+	if m.Count() != other.Count() {
+		t.Fatal("CopyFrom did not copy")
+	}
+}

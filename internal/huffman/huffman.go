@@ -124,14 +124,28 @@ func canonicalize(lens map[uint32]uint8) []symCode {
 	return codes
 }
 
-// Encode Huffman-codes syms and returns a self-contained byte blob
-// (codebook header + bit stream). Decode inverts it.
-func Encode(syms []uint32) []byte {
-	freq := make(map[uint32]uint64)
-	for _, s := range syms {
-		freq[s]++
+// Encoder holds reusable encoding scratch (frequency table, codebooks,
+// header and bit-stream buffers) so repeated Encode calls on a hot path
+// stop allocating. The zero value is ready to use; an Encoder is not safe
+// for concurrent use. Output is byte-identical to the package-level Encode.
+type Encoder struct {
+	freq  map[uint32]uint64
+	bySym []symCode
+	hdr   []byte
+}
+
+// AppendEncode Huffman-codes syms and appends the self-contained blob
+// (codebook header + bit stream) to dst, returning the extended slice.
+func (e *Encoder) AppendEncode(dst []byte, syms []uint32) []byte {
+	if e.freq == nil {
+		e.freq = make(map[uint32]uint64)
+	} else {
+		clear(e.freq)
 	}
-	lens := codeLengths(freq)
+	for _, s := range syms {
+		e.freq[s]++
+	}
+	lens := codeLengths(e.freq)
 	codes := canonicalize(lens)
 
 	table := make(map[uint32]symCode, len(codes))
@@ -142,18 +156,19 @@ func Encode(syms []uint32) []byte {
 	// Header: nsyms, count of distinct symbols, then (symbol, length) pairs
 	// with delta-coded symbols (quantization codes cluster near the middle
 	// bin, so deltas varint-pack tightly).
-	var hdr []byte
+	hdr := e.hdr[:0]
 	hdr = bitio.AppendUvarint(hdr, uint64(len(syms)))
 	hdr = bitio.AppendUvarint(hdr, uint64(len(codes)))
-	bySym := make([]symCode, len(codes))
-	copy(bySym, codes)
+	bySym := append(e.bySym[:0], codes...)
 	sort.Slice(bySym, func(i, j int) bool { return bySym[i].sym < bySym[j].sym })
+	e.bySym = bySym
 	prev := uint32(0)
 	for _, c := range bySym {
 		hdr = bitio.AppendUvarint(hdr, uint64(c.sym-prev))
 		hdr = bitio.AppendUvarint(hdr, uint64(c.len))
 		prev = c.sym
 	}
+	e.hdr = hdr
 
 	w := bitio.NewWriter()
 	for _, s := range syms {
@@ -162,14 +177,26 @@ func Encode(syms []uint32) []byte {
 	}
 	body := w.Bytes()
 
-	out := make([]byte, 0, len(hdr)+len(body)+8)
-	out = bitio.AppendBytes(out, hdr)
-	out = append(out, body...)
-	return out
+	dst = bitio.AppendBytes(dst, hdr)
+	dst = append(dst, body...)
+	return dst
+}
+
+// Encode Huffman-codes syms and returns a self-contained byte blob
+// (codebook header + bit stream). Decode inverts it.
+func Encode(syms []uint32) []byte {
+	var e Encoder
+	return e.AppendEncode(nil, syms)
 }
 
 // Decode inverts Encode. It returns an error for truncated or corrupt input.
-func Decode(blob []byte) ([]uint32, error) {
+func Decode(blob []byte) ([]uint32, error) { return AppendDecode(nil, blob) }
+
+// AppendDecode is Decode appending into dst's spare capacity, letting hot
+// decompression paths reuse one symbol buffer across calls. It returns an
+// error for truncated or corrupt input without over-allocating: claimed
+// symbol counts are validated against the bit stream's actual size first.
+func AppendDecode(dst []uint32, blob []byte) ([]uint32, error) {
 	hdr, n, err := bitio.Bytes(blob)
 	if err != nil {
 		return nil, fmt.Errorf("huffman: reading header: %w", err)
@@ -188,6 +215,14 @@ func Decode(blob []byte) ([]uint32, error) {
 	hdr = hdr[k:]
 	if nsyms > 0 && ncodes == 0 {
 		return nil, errors.New("huffman: nonempty stream with empty codebook")
+	}
+	// Every symbol costs at least one bit and every codebook entry at least
+	// two header bytes, so corrupt counts cannot drive the allocations below.
+	if nsyms > 8*uint64(len(body)) {
+		return nil, fmt.Errorf("huffman: %d symbols claimed but bit stream holds %d bits", nsyms, 8*len(body))
+	}
+	if ncodes > uint64(len(hdr)) {
+		return nil, fmt.Errorf("huffman: %d codebook entries claimed in a %d-byte header", ncodes, len(hdr))
 	}
 
 	lens := make(map[uint32]uint8, ncodes)
@@ -230,7 +265,10 @@ func Decode(blob []byte) ([]uint32, error) {
 	}
 
 	r := bitio.NewReader(body)
-	out := make([]uint32, 0, nsyms)
+	out := dst[:0]
+	if cap(out) < int(nsyms) {
+		out = make([]uint32, 0, nsyms)
+	}
 	for uint64(len(out)) < nsyms {
 		var code uint64
 		var clen uint8

@@ -11,8 +11,8 @@ import (
 func randomMask(d grid.Dims, density float64, seed int64) *grid.Mask {
 	rng := rand.New(rand.NewSource(seed))
 	m := grid.NewMask(d)
-	for i := range m.Bits {
-		m.Bits[i] = rng.Float64() < density
+	for i := 0; i < m.Len(); i++ {
+		m.SetIndex(i, rng.Float64() < density)
 	}
 	return m
 }
@@ -36,7 +36,7 @@ func verifyCover(t *testing.T, m *grid.Mask, boxes []Box) {
 	}
 	for i, c := range cover {
 		want := 0
-		if m.Bits[i] {
+		if m.AtIndex(i) {
 			want = 1
 		}
 		if c != want {
@@ -131,7 +131,7 @@ func TestQuickAdaptiveCoverage(t *testing.T) {
 		}
 		for i, c := range cover {
 			want := 0
-			if m.Bits[i] {
+			if m.AtIndex(i) {
 				want = 1
 			}
 			if c != want {

@@ -122,7 +122,7 @@ func CoveredExactlyOnce(mask *grid.Mask, boxes []kdtree.Box) error {
 	}
 	for i, c := range cover {
 		want := 0
-		if mask.Bits[i] {
+		if mask.AtIndex(i) {
 			want = 1
 		}
 		if c != want {

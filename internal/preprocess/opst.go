@@ -25,8 +25,7 @@ import (
 // every occupied unit block exactly once.
 func OpST(mask *grid.Mask) []kdtree.Box {
 	d := mask.Dim
-	occ := make([]bool, len(mask.Bits))
-	copy(occ, mask.Bits)
+	occ := mask.Bools()
 	bs := make([]int32, len(occ))
 
 	// Initial DP sweep (lines 1–10 of Algorithm 1).

@@ -12,8 +12,8 @@ import (
 func randomMask(d grid.Dims, density float64, seed int64) *grid.Mask {
 	rng := rand.New(rand.NewSource(seed))
 	m := grid.NewMask(d)
-	for i := range m.Bits {
-		m.Bits[i] = rng.Float64() < density
+	for i := 0; i < m.Len(); i++ {
+		m.SetIndex(i, rng.Float64() < density)
 	}
 	return m
 }

@@ -137,7 +137,7 @@ func Generate(spec Spec, field Field) (*amr.Dataset, error) {
 			fine64 = fine64.Downsample(spec.Ratio)
 		}
 		l := amr.NewLevel(fine64.Dim, spec.UnitBlock)
-		copy(l.Mask.Bits, masks[li].Bits)
+		l.Mask.CopyFrom(masks[li])
 		// Copy values into occupied unit blocks only; unoccupied blocks
 		// stay zero, as in the stored AMR representation.
 		md := l.Mask.Dim
@@ -276,7 +276,7 @@ func buildMasks(spec Spec, driver *grid.Grid3[float64]) []*grid.Mask {
 			refined[c.idx] = true
 		}
 		for _, c := range cands[refineCount:] {
-			masks[li].Bits[c.idx] = true // leaf at this level
+			masks[li].SetIndex(c.idx, true) // leaf at this level
 		}
 		// Children of refined blocks exist at the next finer level.
 		fd := blockMax[li-1].Dim
@@ -296,7 +296,7 @@ func buildMasks(spec Spec, driver *grid.Grid3[float64]) []*grid.Mask {
 	// Everything still existing at the finest level is a leaf there.
 	for i, ex := range existing {
 		if ex {
-			masks[0].Bits[i] = true
+			masks[0].SetIndex(i, true)
 		}
 	}
 	return masks

@@ -145,8 +145,8 @@ func TestFieldsShareRefinement(t *testing.T) {
 	}
 	for li := range a.Levels {
 		am, bm := a.Levels[li].Mask, b.Levels[li].Mask
-		for i := range am.Bits {
-			if am.Bits[i] != bm.Bits[i] {
+		for i := 0; i < am.Len(); i++ {
+			if am.AtIndex(i) != bm.AtIndex(i) {
 				t.Fatalf("level %d masks differ between fields", li)
 			}
 		}

@@ -1,0 +1,426 @@
+package sz
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"repro/internal/bitio"
+	"repro/internal/grid"
+	"repro/internal/huffman"
+)
+
+// The pooled engine. Every one-shot Compress*/Decompress* call allocates
+// fresh code streams, reconstruction grids, Huffman tables and DEFLATE
+// coders; on repeated-snapshot campaigns (the archive writer, benchall,
+// services compressing a stream of members) that allocation dominates the
+// small-block hot path. Encoder and Decoder keep all of that scratch alive
+// across calls, and the process-wide DEFLATE coder pools are shared even by
+// the one-shot entry points. Payloads are byte-identical to the one-shot
+// functions in both directions.
+
+// flateWriters pools DEFLATE writers (each ~600 KiB of window state, the
+// single most expensive allocation of a Compress call).
+var flateWriters = sync.Pool{
+	New: func() any {
+		fw, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+		if err != nil {
+			panic(err) // only fails for invalid levels
+		}
+		return fw
+	},
+}
+
+// flateReaders pools DEFLATE readers via flate.Resetter.
+var flateReaders = sync.Pool{
+	New: func() any {
+		return flate.NewReader(bytes.NewReader(nil))
+	},
+}
+
+// sliceWriter adapts an append-grown []byte to io.Writer for the pooled
+// flate writers.
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// deflateAppend DEFLATEs data and appends the result to dst.
+func deflateAppend(dst, data []byte) ([]byte, error) {
+	fw := flateWriters.Get().(*flate.Writer)
+	defer func() {
+		// Detach the destination before pooling, so an idle writer does not
+		// pin the caller's staging buffer for the process lifetime.
+		fw.Reset(io.Discard)
+		flateWriters.Put(fw)
+	}()
+	sw := sliceWriter{b: dst}
+	fw.Reset(&sw)
+	if _, err := fw.Write(data); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return sw.b, nil
+}
+
+// inflateAppend inflates data and appends the result to dst.
+func inflateAppend(dst, data []byte) ([]byte, error) {
+	fr := flateReaders.Get().(io.ReadCloser)
+	defer func() {
+		// Detach the source before pooling so an idle reader does not pin
+		// the caller's payload.
+		fr.(flate.Resetter).Reset(bytes.NewReader(nil), nil)
+		flateReaders.Put(fr)
+	}()
+	if err := fr.(flate.Resetter).Reset(bytes.NewReader(data), nil); err != nil {
+		return nil, fmt.Errorf("sz: inflating section: %w", err)
+	}
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := fr.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sz: inflating section: %w", err)
+		}
+	}
+}
+
+// Encoder is a reusable compression engine. It owns the quantization-code
+// buffer, literal pool, reconstruction grid, Huffman scratch and payload
+// staging buffers, reusing them across calls so that steady-state
+// compression allocates only the returned payload.
+//
+// The zero value is ready to use. An Encoder is not safe for concurrent
+// use; use one per goroutine (they are cheap once warm) or guard with a
+// sync.Pool.
+type Encoder[T grid.Float] struct {
+	codes []uint32
+	lits  []byte
+	recon []T
+	huff  huffman.Encoder
+
+	huffBuf []byte // raw huffman blob staging
+	deflBuf []byte // deflated section staging
+	metas   []blockMeta
+}
+
+// NewEncoder returns an empty Encoder; scratch grows on first use.
+func NewEncoder[T grid.Float]() *Encoder[T] { return &Encoder[T]{} }
+
+// reconGrid returns the pooled reconstruction scratch shaped as d, zeroed.
+func (e *Encoder[T]) reconGrid(d grid.Dims) *grid.Grid3[T] {
+	n := d.Count()
+	if cap(e.recon) < n {
+		e.recon = make([]T, n)
+	}
+	r := e.recon[:n]
+	clear(r)
+	return grid.FromSlice(d, r)
+}
+
+// newQuantizer builds a quantizer over the encoder's pooled buffers.
+func (e *Encoder[T]) newQuantizer(eb float64, quantBits int) *quantizer[T] {
+	q := newQuantizer[T](eb, quantBits)
+	q.codes = e.codes[:0]
+	q.lits = e.lits[:0]
+	return q
+}
+
+// Compress1D is Compress1D reusing the encoder's scratch.
+func (e *Encoder[T]) Compress1D(values []T, opts Options) ([]byte, Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	eb := effectiveEB(values, opts)
+	q := e.newQuantizer(eb, opts.QuantBits)
+	var prev T
+	for i, v := range values {
+		pred := prev
+		if i == 0 {
+			pred = 0
+		}
+		prev = q.encode(v, pred)
+	}
+	return e.seal(kindRaw1D, nil, len(values), eb, opts, q)
+}
+
+// Compress3D is Compress3D reusing the encoder's scratch.
+func (e *Encoder[T]) Compress3D(g *grid.Grid3[T], opts Options) ([]byte, Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	eb := effectiveEB(g.Data, opts)
+	q := e.newQuantizer(eb, opts.QuantBits)
+	encodeLorenzo3(g, e.reconGrid(g.Dim), q)
+	return e.seal(kindGrid3D, []grid.Dims{g.Dim}, len(g.Data), eb, opts, q)
+}
+
+// CompressBlocks is CompressBlocks reusing the encoder's scratch.
+func (e *Encoder[T]) CompressBlocks(blocks []*grid.Grid3[T], opts Options) ([]byte, Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	d, total, eb, err := batchGeometry(blocks, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	q := e.newQuantizer(eb, opts.QuantBits)
+	recon := e.reconGrid(d)
+	for _, b := range blocks {
+		clear(recon.Data)
+		encodeLorenzo3(b, recon, q)
+	}
+	dims := []grid.Dims{d, {X: len(blocks)}} // block count rides in a dims record
+	return e.seal(kindBatch, dims, total, eb, opts, q)
+}
+
+// batchGeometry validates a block batch and resolves its shared shape,
+// total cell count, and effective absolute bound.
+func batchGeometry[T grid.Float](blocks []*grid.Grid3[T], opts Options) (grid.Dims, int, float64, error) {
+	if len(blocks) == 0 {
+		return grid.Dims{}, 0, 0, fmt.Errorf("sz: empty block batch")
+	}
+	d := blocks[0].Dim
+	total := 0
+	for i, b := range blocks {
+		if b.Dim != d {
+			return grid.Dims{}, 0, 0, fmt.Errorf("sz: block %d dims %v differ from %v", i, b.Dim, d)
+		}
+		total += len(b.Data)
+	}
+	// The relative bound is computed over the union of all blocks so that
+	// every block sees the same effective absolute bound.
+	eb := opts.ErrorBound
+	if opts.Mode == Rel {
+		lo, hi := rangeOfBlocks(blocks)
+		eb = relToAbs(opts.ErrorBound, lo, hi)
+	}
+	return d, total, eb, nil
+}
+
+// seal assembles the final payload from the quantizer state, stashing the
+// grown scratch buffers back on the encoder for the next call.
+func (e *Encoder[T]) seal(kind int, dims []grid.Dims, n int, eb float64, opts Options, q *quantizer[T]) ([]byte, Stats, error) {
+	e.codes = q.codes[:0]
+	e.lits = q.lits[:0]
+
+	var hdr [64]byte
+	h := hdr[:0]
+	h = bitio.AppendUvarint(h, magic)
+	h = bitio.AppendUvarint(h, version)
+	h = bitio.AppendUvarint(h, uint64(kind))
+	h = bitio.AppendUvarint(h, uint64(n))
+	h = bitio.AppendUvarint(h, math.Float64bits(eb))
+	h = bitio.AppendUvarint(h, uint64(opts.QuantBits))
+	lossless := uint64(1)
+	if opts.DisableLossless {
+		lossless = 0
+	}
+	h = bitio.AppendUvarint(h, lossless)
+	h = bitio.AppendUvarint(h, uint64(len(dims)))
+	for _, d := range dims {
+		h = bitio.AppendUvarint(h, uint64(d.X))
+		h = bitio.AppendUvarint(h, uint64(d.Y))
+		h = bitio.AppendUvarint(h, uint64(d.Z))
+	}
+
+	huff := e.huff.AppendEncode(e.huffBuf[:0], q.codes)
+	e.huffBuf = huff[:0]
+	lits := q.lits
+	if !opts.DisableLossless {
+		var err error
+		defl := e.deflBuf[:0]
+		if defl, err = deflateAppend(defl, huff); err != nil {
+			return nil, Stats{}, err
+		}
+		huffLen := len(defl)
+		if defl, err = deflateAppend(defl, lits); err != nil {
+			return nil, Stats{}, err
+		}
+		e.deflBuf = defl[:0]
+		huff, lits = defl[:huffLen], defl[huffLen:]
+	}
+	out := make([]byte, 0, len(h)+len(huff)+len(lits)+16)
+	out = append(out, h...)
+	out = bitio.AppendBytes(out, huff)
+	out = bitio.AppendBytes(out, lits)
+	st := Stats{N: n, EffectiveEB: eb, Literals: q.nlit, CompressedLen: len(out), ElemBytes: literalSize[T]()}
+	return out, st, nil
+}
+
+// EncoderPool is a typed sync.Pool of Encoders for callers whose hot path
+// spans goroutines (archive workers, level fan-outs). The zero value is
+// ready to use.
+type EncoderPool[T grid.Float] struct{ p sync.Pool }
+
+// Get returns a pooled (or fresh) Encoder.
+func (p *EncoderPool[T]) Get() *Encoder[T] {
+	if e, _ := p.p.Get().(*Encoder[T]); e != nil {
+		return e
+	}
+	return &Encoder[T]{}
+}
+
+// Put returns an Encoder to the pool.
+func (p *EncoderPool[T]) Put(e *Encoder[T]) { p.p.Put(e) }
+
+// DecoderPool is a typed sync.Pool of Decoders; the zero value is ready to
+// use.
+type DecoderPool[T grid.Float] struct{ p sync.Pool }
+
+// Get returns a pooled (or fresh) Decoder.
+func (p *DecoderPool[T]) Get() *Decoder[T] {
+	if d, _ := p.p.Get().(*Decoder[T]); d != nil {
+		return d
+	}
+	return &Decoder[T]{}
+}
+
+// Put returns a Decoder to the pool.
+func (p *DecoderPool[T]) Put(d *Decoder[T]) { p.p.Put(d) }
+
+// Decoder is the reusable decompression engine: it keeps the inflated
+// section buffers, decoded symbol stream and literal-offset scratch alive
+// across calls. The zero value is ready to use; a Decoder is not safe for
+// concurrent use (DecompressBlocksParallel fans out internally).
+type Decoder[T grid.Float] struct {
+	codes   []uint32
+	huffBuf []byte
+	litBuf  []byte
+	litOff  []int
+}
+
+// NewDecoder returns an empty Decoder; scratch grows on first use.
+func NewDecoder[T grid.Float]() *Decoder[T] { return &Decoder[T]{} }
+
+// unseal parses a payload into the decoder's scratch and returns the
+// header, code stream and literal pool. The returned slices alias the
+// decoder and are valid until the next call.
+func (d *Decoder[T]) unseal(blob []byte, wantKind int) (header, []uint32, []byte, error) {
+	h, blob, err := parseHeader(blob)
+	if err != nil {
+		return h, nil, nil, err
+	}
+	if h.kind != wantKind {
+		return h, nil, nil, fmt.Errorf("sz: payload kind %d, want %d", h.kind, wantKind)
+	}
+
+	huff, k, err := bitio.Bytes(blob)
+	if err != nil {
+		return h, nil, nil, fmt.Errorf("sz: reading code section: %w", err)
+	}
+	blob = blob[k:]
+	lits, _, err := bitio.Bytes(blob)
+	if err != nil {
+		return h, nil, nil, fmt.Errorf("sz: reading literal section: %w", err)
+	}
+	if h.lossless {
+		if huff, err = inflateAppend(d.huffBuf[:0], huff); err != nil {
+			return h, nil, nil, err
+		}
+		d.huffBuf = huff[:0]
+		if lits, err = inflateAppend(d.litBuf[:0], lits); err != nil {
+			return h, nil, nil, err
+		}
+		d.litBuf = lits[:0]
+	}
+	codes, err := huffman.AppendDecode(d.codes[:0], huff)
+	if err != nil {
+		return h, nil, nil, err
+	}
+	d.codes = codes[:0]
+	if len(codes) != h.n {
+		return h, nil, nil, fmt.Errorf("sz: %d codes for %d values", len(codes), h.n)
+	}
+	return h, codes, lits, nil
+}
+
+// Decompress1D is Decompress1D reusing the decoder's scratch.
+func (d *Decoder[T]) Decompress1D(blob []byte) ([]T, error) {
+	hdr, codes, lits, err := d.unseal(blob, kindRaw1D)
+	if err != nil {
+		return nil, err
+	}
+	dq, err := newDequantizer[T](hdr, codes, lits)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, hdr.n)
+	var prev T
+	for i := range out {
+		pred := prev
+		if i == 0 {
+			pred = 0
+		}
+		v, err := dq.decode(pred)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+		prev = v
+	}
+	return out, nil
+}
+
+// Decompress3D is Decompress3D reusing the decoder's scratch.
+func (d *Decoder[T]) Decompress3D(blob []byte) (*grid.Grid3[T], error) {
+	hdr, codes, lits, err := d.unseal(blob, kindGrid3D)
+	if err != nil {
+		return nil, err
+	}
+	if len(hdr.dims) != 1 {
+		return nil, fmt.Errorf("sz: 3D payload with %d dim records", len(hdr.dims))
+	}
+	if n, ok := checkedCount(hdr.dims[0]); !ok || n != hdr.n {
+		return nil, fmt.Errorf("sz: 3D dims %v do not cover %d values", hdr.dims[0], hdr.n)
+	}
+	dq, err := newDequantizer[T](hdr, codes, lits)
+	if err != nil {
+		return nil, err
+	}
+	out := grid.New[T](hdr.dims[0])
+	if err := decodeLorenzo3(out, dq); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecompressBlocks is DecompressBlocks reusing the decoder's scratch.
+func (d *Decoder[T]) DecompressBlocks(blob []byte) ([]*grid.Grid3[T], error) {
+	hdr, codes, lits, err := d.unseal(blob, kindBatch)
+	if err != nil {
+		return nil, err
+	}
+	bd, count, err := hdr.batchGeometry()
+	if err != nil {
+		return nil, err
+	}
+	dq, err := newDequantizer[T](hdr, codes, lits)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*grid.Grid3[T], count)
+	for i := range out {
+		g := grid.New[T](bd)
+		if err := decodeLorenzo3(g, dq); err != nil {
+			return nil, err
+		}
+		out[i] = g
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package sz
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// fuzzSeeds builds one valid payload of every kind (plus a lossless-off
+// variant) so the fuzzer starts from structurally plausible inputs; the
+// same seeds are checked in under testdata/fuzz for deterministic CI runs.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	var seeds [][]byte
+
+	vals := make([]float32, 257)
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i) / 9))
+	}
+	b1, _, err := Compress1D(vals, Options{ErrorBound: 1e-2})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seeds = append(seeds, b1)
+
+	g := grid.NewCube[float32](6)
+	for i := range g.Data {
+		g.Data[i] = vals[i%len(vals)]
+	}
+	b3, _, err := Compress3D(g, Options{ErrorBound: 1e-2})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seeds = append(seeds, b3)
+
+	blocks := []*grid.Grid3[float32]{g.Clone(), g.Clone(), g.Clone()}
+	blocks[1].Data[7] = 1e30 // force a literal
+	bb, _, err := CompressBlocks(blocks, Options{ErrorBound: 1e-2})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seeds = append(seeds, bb)
+
+	raw, _, err := CompressBlocks(blocks, Options{ErrorBound: 1e-2, DisableLossless: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seeds = append(seeds, raw)
+
+	b2, _, err := Compress2D(vals[:240], 16, 15, Options{ErrorBound: 1e-2})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seeds = append(seeds, b2)
+	return seeds
+}
+
+// FuzzParseHeader fuzzes the header parser and the header-only PeekBatch
+// path: no input may panic or claim implausible geometry that would make a
+// caller over-allocate.
+func FuzzParseHeader(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+		if len(s) > 4 {
+			f.Add(s[:len(s)/2]) // truncated
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, _, err := parseHeader(data)
+		if err == nil {
+			if h.n < 0 || h.n > 1<<40 {
+				t.Fatalf("parseHeader accepted implausible n=%d", h.n)
+			}
+			for _, d := range h.dims {
+				if d.X < 0 || d.Y < 0 || d.Z < 0 || d.X > 1<<40 || d.Y > 1<<40 || d.Z > 1<<40 {
+					t.Fatalf("parseHeader accepted implausible dims %v", d)
+				}
+			}
+		}
+		if info, err := PeekBatch(data); err == nil {
+			if info.Blocks <= 0 || info.BlockDims.Count() <= 0 {
+				t.Fatalf("PeekBatch accepted implausible geometry %+v", info)
+			}
+		}
+	})
+}
+
+// FuzzDecompress fuzzes the full unseal + entropy decode + reconstruction
+// paths of every payload kind, serial and parallel, in both element
+// widths. Corrupt inputs must error (or round-trip), never panic or
+// over-allocate.
+func FuzzDecompress(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+		if len(s) > 8 {
+			mut := append([]byte(nil), s...)
+			mut[len(mut)/3] ^= 0x40 // bit-flipped body
+			f.Add(mut)
+			f.Add(s[:len(s)-3]) // truncated tail
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Decompress1D[float32](data)
+		_, _ = Decompress1D[float64](data)
+		_, _, _, _ = Decompress2D[float32](data)
+		_, _ = Decompress3D[float32](data)
+		_, _ = DecompressBlocks[float32](data)
+		_, _ = DecompressBlocksParallel[float32](data, 3)
+		_, _ = DecompressBlocksParallel[float64](data, 2)
+	})
+}

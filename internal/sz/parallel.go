@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/grid"
 )
@@ -15,11 +16,35 @@ import (
 // addresses the throughput concern the paper leaves as future work
 // ("relatively low throughput on small AMR datasets") without changing the
 // compressed format: payloads are bit-identical to the serial path.
+//
+// Each block of shape d emits exactly d.Count() quantization codes, so the
+// whole batch's code stream is pre-sized once and every worker appends into
+// its block's capacity-bounded sub-slice — the per-block streams land
+// spliced in place, with no post-hoc re-copy. Only the variable-length
+// literal pools need one ordered copy into the final buffer.
+
+// blockMeta records where one block's literals landed in its worker's
+// arena, so the pools can be spliced in block order afterwards.
+type blockMeta struct {
+	worker int
+	litOff int
+	litLen int
+	nlit   int
+}
 
 // CompressBlocksParallel is CompressBlocks with the per-block prediction
 // and quantization fanned out over workers goroutines (≤ 0 means
 // GOMAXPROCS). The output is byte-identical to CompressBlocks.
 func CompressBlocksParallel[T grid.Float](blocks []*grid.Grid3[T], opts Options, workers int) ([]byte, Stats, error) {
+	var e Encoder[T]
+	return e.CompressBlocksParallel(blocks, opts, workers)
+}
+
+// CompressBlocksParallel is CompressBlocksParallel reusing the encoder's
+// scratch. The code stream is written directly into the encoder's pooled,
+// pre-sized buffer by all workers; per-worker reconstruction grids are the
+// only per-call allocations.
+func (e *Encoder[T]) CompressBlocksParallel(blocks []*grid.Grid3[T], opts Options, workers int) ([]byte, Stats, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, Stats{}, err
@@ -30,117 +55,183 @@ func CompressBlocksParallel[T grid.Float](blocks []*grid.Grid3[T], opts Options,
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 || len(blocks) == 1 {
-		return CompressBlocks(blocks, opts)
+	if workers > len(blocks) {
+		workers = len(blocks)
 	}
-	d := blocks[0].Dim
-	total := 0
-	for i, b := range blocks {
-		if b.Dim != d {
-			return nil, Stats{}, fmt.Errorf("sz: block %d dims %v differ from %v", i, b.Dim, d)
-		}
-		total += len(b.Data)
+	if workers == 1 {
+		return e.CompressBlocks(blocks, opts)
 	}
-	eb := opts.ErrorBound
-	if opts.Mode == Rel {
-		lo, hi := rangeOfBlocks(blocks)
-		eb = relToAbs(opts.ErrorBound, lo, hi)
+	d, total, eb, err := batchGeometry(blocks, opts)
+	if err != nil {
+		return nil, Stats{}, err
 	}
+	per := d.Count()
 
-	// Quantize every block independently, then splice the per-block code
-	// streams and literal pools in order — exactly what the serial loop
-	// produces.
-	qs := make([]*quantizer[T], len(blocks))
+	// One pre-sized code buffer; worker i's block lands at [i*per,(i+1)*per).
+	if cap(e.codes) < total {
+		e.codes = make([]uint32, 0, total)
+	}
+	codes := e.codes[:total]
+	if cap(e.metas) < len(blocks) {
+		e.metas = make([]blockMeta, len(blocks))
+	}
+	metas := e.metas[:len(blocks)]
+	arenas := make([][]byte, workers)
+
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, b := range blocks {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, b *grid.Grid3[T]) {
+		go func(w int) {
 			defer wg.Done()
-			defer func() { <-sem }()
-			q := newQuantizer[T](eb, opts.QuantBits)
 			recon := grid.New[T](d)
-			encodeLorenzo3(b, recon, q)
-			qs[i] = q
-		}(i, b)
+			var arena []byte
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(blocks) {
+					break
+				}
+				clear(recon.Data)
+				q := newQuantizer[T](eb, opts.QuantBits)
+				q.codes = codes[i*per : i*per : (i+1)*per]
+				q.lits = arena
+				start := len(arena)
+				encodeLorenzo3(blocks[i], recon, q)
+				arena = q.lits
+				metas[i] = blockMeta{worker: w, litOff: start, litLen: len(arena) - start, nlit: q.nlit}
+			}
+			arenas[w] = arena
+		}(w)
 	}
 	wg.Wait()
 
-	merged := newQuantizer[T](eb, opts.QuantBits)
-	for _, q := range qs {
-		merged.codes = append(merged.codes, q.codes...)
-		merged.lits = append(merged.lits, q.lits...)
-		merged.nlit += q.nlit
+	// Splice the literal pools in block order — exactly the layout the
+	// serial loop produces.
+	totalLits, nlit := 0, 0
+	for i := range metas {
+		totalLits += metas[i].litLen
+		nlit += metas[i].nlit
 	}
+	if cap(e.lits) < totalLits {
+		e.lits = make([]byte, 0, totalLits)
+	}
+	lits := e.lits[:0]
+	for i := range metas {
+		m := &metas[i]
+		lits = append(lits, arenas[m.worker][m.litOff:m.litOff+m.litLen]...)
+	}
+
+	merged := newQuantizer[T](eb, opts.QuantBits)
+	merged.codes = codes
+	merged.lits = lits
+	merged.nlit = nlit
 	dims := []grid.Dims{d, {X: len(blocks)}}
-	return seal(kindBatch, dims, total, eb, opts, merged)
+	return e.seal(kindBatch, dims, total, eb, opts, merged)
 }
 
 // DecompressBlocksParallel inverts CompressBlocks/CompressBlocksParallel
 // with per-block reconstruction fanned out over workers goroutines. The
 // code stream splits evenly (one code per cell); the literal pool is split
-// by counting literal markers per block segment.
+// by counting literal markers per block segment, itself fanned out over the
+// workers before a cheap serial prefix sum.
 func DecompressBlocksParallel[T grid.Float](blob []byte, workers int) ([]*grid.Grid3[T], error) {
-	hdr, codes, lits, err := unseal(blob, kindBatch)
+	var d Decoder[T]
+	return d.DecompressBlocksParallel(blob, workers)
+}
+
+// DecompressBlocksParallel is DecompressBlocksParallel reusing the
+// decoder's scratch.
+func (dec *Decoder[T]) DecompressBlocksParallel(blob []byte, workers int) ([]*grid.Grid3[T], error) {
+	hdr, codes, lits, err := dec.unseal(blob, kindBatch)
 	if err != nil {
 		return nil, err
 	}
-	if len(hdr.dims) != 2 {
-		return nil, fmt.Errorf("sz: batch payload with %d dim records", len(hdr.dims))
-	}
-	d, count := hdr.dims[0], hdr.dims[1].X
-	if count <= 0 || d.Count()*count != hdr.n {
-		return nil, fmt.Errorf("sz: batch geometry %v × %d does not cover %d values", d, count, hdr.n)
+	d, count, err := hdr.batchGeometry()
+	if err != nil {
+		return nil, err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	per := d.Count()
-	if len(codes) != per*count {
-		return nil, fmt.Errorf("sz: %d codes for %d cells", len(codes), per*count)
+	if workers > count {
+		workers = count
 	}
+	per := d.Count()
 	litSize := literalSize[T]()
 
 	// Literal-pool offsets: block i's literals start after all literal
-	// markers (code 0) in earlier blocks.
-	litOff := make([]int, count+1)
-	for i := 0; i < count; i++ {
-		zeros := 0
-		for _, c := range codes[i*per : (i+1)*per] {
-			if c == 0 {
-				zeros++
+	// markers (code 0) in earlier blocks. The per-block zero counts are
+	// independent, so the scan fans out over the workers; the prefix sum
+	// over count entries is negligible.
+	if cap(dec.litOff) < count+1 {
+		dec.litOff = make([]int, count+1)
+	}
+	litOff := dec.litOff[:count+1]
+	countZeros := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			zeros := 0
+			for _, c := range codes[i*per : (i+1)*per] {
+				if c == 0 {
+					zeros++
+				}
 			}
+			litOff[i+1] = zeros * litSize
 		}
-		litOff[i+1] = litOff[i] + zeros*litSize
+	}
+	if workers == 1 {
+		countZeros(0, count)
+	} else {
+		var wg sync.WaitGroup
+		chunk := (count + workers - 1) / workers
+		for lo := 0; lo < count; lo += chunk {
+			hi := min(lo+chunk, count)
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				countZeros(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	litOff[0] = 0
+	for i := 1; i <= count; i++ {
+		litOff[i] += litOff[i-1]
 	}
 	if litOff[count] > len(lits) {
 		return nil, fmt.Errorf("sz: literal pool holds %d bytes, need %d", len(lits), litOff[count])
 	}
 
 	out := make([]*grid.Grid3[T], count)
-	errs := make([]error, count)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := 0; i < count; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			dq := &dequantizer[T]{
-				twoEB:  2 * hdr.eb,
-				radius: int64(1) << (hdr.quantBits - 1),
-				codes:  codes[i*per : (i+1)*per],
-				lits:   lits[litOff[i]:litOff[i+1]],
-			}
-			g := grid.New[T](d)
-			if err := decodeLorenzo3(g, dq); err != nil {
-				errs[i] = err
-				return
+	if workers == 1 {
+		for i := range out {
+			g, err := decodeBlockAt[T](d, hdr, codes, lits, litOff, i, per)
+			if err != nil {
+				return nil, err
 			}
 			out[i] = g
-		}(i)
+		}
+		return out, nil
+	}
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= count {
+					return
+				}
+				g, err := decodeBlockAt[T](d, hdr, codes, lits, litOff, i, per)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out[i] = g
+			}
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -149,6 +240,22 @@ func DecompressBlocksParallel[T grid.Float](blob []byte, workers int) ([]*grid.G
 		}
 	}
 	return out, nil
+}
+
+// decodeBlockAt reconstructs block i of a batch from its code and literal
+// sub-ranges.
+func decodeBlockAt[T grid.Float](d grid.Dims, hdr header, codes []uint32, lits []byte, litOff []int, i, per int) (*grid.Grid3[T], error) {
+	dq := &dequantizer[T]{
+		twoEB:  2 * hdr.eb,
+		radius: int64(1) << (hdr.quantBits - 1),
+		codes:  codes[i*per : (i+1)*per],
+		lits:   lits[litOff[i]:litOff[i+1]],
+	}
+	g := grid.New[T](d)
+	if err := decodeLorenzo3(g, dq); err != nil {
+		return nil, err
+	}
+	return g, nil
 }
 
 // literalSize returns the byte width of one exact literal for T.

@@ -19,16 +19,13 @@
 package sz
 
 import (
-	"bytes"
-	"compress/flate"
 	"errors"
 	"fmt"
-	"io"
 	"math"
+	"math/bits"
 
 	"repro/internal/bitio"
 	"repro/internal/grid"
-	"repro/internal/huffman"
 )
 
 // Mode selects how Options.ErrorBound is interpreted.
@@ -92,15 +89,22 @@ type Stats struct {
 	EffectiveEB   float64 // absolute bound actually applied
 	Literals      int     // values stored exactly (unpredictable)
 	CompressedLen int     // total payload bytes
+	ElemBytes     int     // uncompressed width of one element (4 or 8)
 }
 
-// Ratio returns the compression ratio against 4-byte single-precision
-// storage, the accounting the paper uses for Nyx data.
+// Ratio returns the compression ratio against the stream's uncompressed
+// storage at its actual element width — 4 bytes for float32 streams (the
+// accounting the paper uses for Nyx data), 8 for float64, so
+// double-precision streams no longer report half their true ratio.
 func (s Stats) Ratio() float64 {
 	if s.CompressedLen == 0 {
 		return 0
 	}
-	return float64(4*s.N) / float64(s.CompressedLen)
+	eb := s.ElemBytes
+	if eb == 0 {
+		eb = 4
+	}
+	return float64(eb*s.N) / float64(s.CompressedLen)
 }
 
 const (
@@ -115,81 +119,26 @@ const (
 // (each value predicted by its reconstructed predecessor). This is the
 // compressor the 1D baseline and zMesh use.
 func Compress1D[T grid.Float](values []T, opts Options) ([]byte, Stats, error) {
-	opts = opts.withDefaults()
-	if err := opts.validate(); err != nil {
-		return nil, Stats{}, err
-	}
-	eb := effectiveEB(values, opts)
-	q := newQuantizer[T](eb, opts.QuantBits)
-	var prev T
-	for i, v := range values {
-		pred := prev
-		if i == 0 {
-			pred = 0
-		}
-		prev = q.encode(v, pred)
-	}
-	return seal(kindRaw1D, nil, len(values), eb, opts, q)
+	var e Encoder[T]
+	return e.Compress1D(values, opts)
 }
 
 // Decompress1D inverts Compress1D.
 func Decompress1D[T grid.Float](blob []byte) ([]T, error) {
-	hdr, codes, lits, err := unseal(blob, kindRaw1D)
-	if err != nil {
-		return nil, err
-	}
-	dq, err := newDequantizer[T](hdr, codes, lits)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]T, hdr.n)
-	var prev T
-	for i := range out {
-		pred := prev
-		if i == 0 {
-			pred = 0
-		}
-		v, err := dq.decode(pred)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
-		prev = v
-	}
-	return out, nil
+	var d Decoder[T]
+	return d.Decompress1D(blob)
 }
 
 // Compress3D compresses a dense 3D grid with the 3D Lorenzo predictor.
 func Compress3D[T grid.Float](g *grid.Grid3[T], opts Options) ([]byte, Stats, error) {
-	opts = opts.withDefaults()
-	if err := opts.validate(); err != nil {
-		return nil, Stats{}, err
-	}
-	eb := effectiveEB(g.Data, opts)
-	q := newQuantizer[T](eb, opts.QuantBits)
-	recon := grid.New[T](g.Dim)
-	encodeLorenzo3(g, recon, q)
-	return seal(kindGrid3D, []grid.Dims{g.Dim}, len(g.Data), eb, opts, q)
+	var e Encoder[T]
+	return e.Compress3D(g, opts)
 }
 
 // Decompress3D inverts Compress3D.
 func Decompress3D[T grid.Float](blob []byte) (*grid.Grid3[T], error) {
-	hdr, codes, lits, err := unseal(blob, kindGrid3D)
-	if err != nil {
-		return nil, err
-	}
-	if len(hdr.dims) != 1 {
-		return nil, fmt.Errorf("sz: 3D payload with %d dim records", len(hdr.dims))
-	}
-	dq, err := newDequantizer[T](hdr, codes, lits)
-	if err != nil {
-		return nil, err
-	}
-	out := grid.New[T](hdr.dims[0])
-	if err := decodeLorenzo3(out, dq); err != nil {
-		return nil, err
-	}
-	return out, nil
+	var d Decoder[T]
+	return d.Decompress3D(blob)
 }
 
 // CompressBlocks compresses a batch of equally-shaped 3D blocks as one
@@ -199,66 +148,14 @@ func Decompress3D[T grid.Float](blob []byte) (*grid.Grid3[T], error) {
 // and AKDTree produce (Sec. 3.1: sub-blocks of the same size are merged
 // into the same array for easy compression).
 func CompressBlocks[T grid.Float](blocks []*grid.Grid3[T], opts Options) ([]byte, Stats, error) {
-	opts = opts.withDefaults()
-	if err := opts.validate(); err != nil {
-		return nil, Stats{}, err
-	}
-	if len(blocks) == 0 {
-		return nil, Stats{}, errors.New("sz: empty block batch")
-	}
-	d := blocks[0].Dim
-	total := 0
-	for i, b := range blocks {
-		if b.Dim != d {
-			return nil, Stats{}, fmt.Errorf("sz: block %d dims %v differ from %v", i, b.Dim, d)
-		}
-		total += len(b.Data)
-	}
-	// The relative bound is computed over the union of all blocks so that
-	// every block sees the same effective absolute bound.
-	eb := opts.ErrorBound
-	if opts.Mode == Rel {
-		lo, hi := rangeOfBlocks(blocks)
-		eb = relToAbs(opts.ErrorBound, lo, hi)
-	}
-	q := newQuantizer[T](eb, opts.QuantBits)
-	recon := grid.New[T](d)
-	for _, b := range blocks {
-		for i := range recon.Data {
-			recon.Data[i] = 0
-		}
-		encodeLorenzo3(b, recon, q)
-	}
-	dims := []grid.Dims{d, {X: len(blocks)}} // block count rides in a dims record
-	return seal(kindBatch, dims, total, eb, opts, q)
+	var e Encoder[T]
+	return e.CompressBlocks(blocks, opts)
 }
 
 // DecompressBlocks inverts CompressBlocks.
 func DecompressBlocks[T grid.Float](blob []byte) ([]*grid.Grid3[T], error) {
-	hdr, codes, lits, err := unseal(blob, kindBatch)
-	if err != nil {
-		return nil, err
-	}
-	if len(hdr.dims) != 2 {
-		return nil, fmt.Errorf("sz: batch payload with %d dim records", len(hdr.dims))
-	}
-	d, count := hdr.dims[0], hdr.dims[1].X
-	if count <= 0 || d.Count()*count != hdr.n {
-		return nil, fmt.Errorf("sz: batch geometry %v × %d does not cover %d values", d, count, hdr.n)
-	}
-	dq, err := newDequantizer[T](hdr, codes, lits)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]*grid.Grid3[T], count)
-	for i := range out {
-		g := grid.New[T](d)
-		if err := decodeLorenzo3(g, dq); err != nil {
-			return nil, err
-		}
-		out[i] = g
-	}
-	return out, nil
+	var d Decoder[T]
+	return d.DecompressBlocks(blob)
 }
 
 // effectiveEB resolves the options to an absolute error bound for values.
@@ -484,43 +381,11 @@ type header struct {
 	dims      []grid.Dims
 }
 
-// seal assembles the final payload from the quantizer state.
+// seal assembles the final payload from the quantizer state (one-shot
+// entry point; the Encoder method is the implementation).
 func seal[T grid.Float](kind int, dims []grid.Dims, n int, eb float64, opts Options, q *quantizer[T]) ([]byte, Stats, error) {
-	var hdr []byte
-	hdr = bitio.AppendUvarint(hdr, magic)
-	hdr = bitio.AppendUvarint(hdr, version)
-	hdr = bitio.AppendUvarint(hdr, uint64(kind))
-	hdr = bitio.AppendUvarint(hdr, uint64(n))
-	hdr = bitio.AppendUvarint(hdr, math.Float64bits(eb))
-	hdr = bitio.AppendUvarint(hdr, uint64(opts.QuantBits))
-	lossless := uint64(1)
-	if opts.DisableLossless {
-		lossless = 0
-	}
-	hdr = bitio.AppendUvarint(hdr, lossless)
-	hdr = bitio.AppendUvarint(hdr, uint64(len(dims)))
-	for _, d := range dims {
-		hdr = bitio.AppendUvarint(hdr, uint64(d.X))
-		hdr = bitio.AppendUvarint(hdr, uint64(d.Y))
-		hdr = bitio.AppendUvarint(hdr, uint64(d.Z))
-	}
-
-	huff := huffman.Encode(q.codes)
-	lits := q.lits
-	if !opts.DisableLossless {
-		var err error
-		if huff, err = deflate(huff); err != nil {
-			return nil, Stats{}, err
-		}
-		if lits, err = deflate(lits); err != nil {
-			return nil, Stats{}, err
-		}
-	}
-	out := make([]byte, 0, len(hdr)+len(huff)+len(lits)+16)
-	out = append(out, hdr...)
-	out = bitio.AppendBytes(out, huff)
-	out = bitio.AppendBytes(out, lits)
-	return out, Stats{N: n, EffectiveEB: eb, Literals: q.nlit, CompressedLen: len(out)}, nil
+	var e Encoder[T]
+	return e.seal(kind, dims, n, eb, opts, q)
 }
 
 // parseHeader decodes the payload header and returns it plus the remaining
@@ -553,6 +418,9 @@ func parseHeader(blob []byte) (header, []byte, error) {
 		return h, nil, err
 	}
 	h.n = int(n)
+	if n > 1<<40 {
+		return h, nil, fmt.Errorf("sz: implausible value count %d", n)
+	}
 	ebBits, err := u()
 	if err != nil {
 		return h, nil, err
@@ -575,6 +443,9 @@ func parseHeader(blob []byte) (header, []byte, error) {
 	if err != nil {
 		return h, nil, err
 	}
+	if nd > 8 {
+		return h, nil, fmt.Errorf("sz: implausible dim-record count %d", nd)
+	}
 	for i := uint64(0); i < nd; i++ {
 		var d grid.Dims
 		for _, p := range []*int{&d.X, &d.Y, &d.Z} {
@@ -582,11 +453,50 @@ func parseHeader(blob []byte) (header, []byte, error) {
 			if err != nil {
 				return h, nil, err
 			}
+			// Dim records also carry the batch block count, so the bound
+			// must admit anything up to the value-count cap; overflow
+			// safety comes from checkedCount at the use sites.
+			if v > 1<<40 {
+				return h, nil, fmt.Errorf("sz: implausible dim extent %d", v)
+			}
 			*p = int(v)
 		}
 		h.dims = append(h.dims, d)
 	}
 	return h, blob, nil
+}
+
+// batchGeometry validates a kindBatch header's dim records against its
+// value count and returns the block shape and block count.
+func (h header) batchGeometry() (grid.Dims, int, error) {
+	if len(h.dims) != 2 {
+		return grid.Dims{}, 0, fmt.Errorf("sz: batch payload with %d dim records", len(h.dims))
+	}
+	d, count := h.dims[0], h.dims[1].X
+	per, ok := checkedCount(d)
+	// Divide instead of multiplying so corrupt counts cannot overflow.
+	if !ok || count <= 0 || per <= 0 || h.n%per != 0 || h.n/per != count {
+		return grid.Dims{}, 0, fmt.Errorf("sz: batch geometry %v × %d does not cover %d values", d, count, h.n)
+	}
+	return d, count, nil
+}
+
+// checkedCount is Dims.Count with overflow protection for header-supplied
+// dims: it reports false when the product exceeds the value-count cap (so
+// it could never match a valid header anyway).
+func checkedCount(d grid.Dims) (int, bool) {
+	if d.X < 0 || d.Y < 0 || d.Z < 0 {
+		return 0, false
+	}
+	hi, p := bits.Mul64(uint64(d.X), uint64(d.Y))
+	if hi != 0 || p > 1<<40 {
+		return 0, false
+	}
+	hi, p = bits.Mul64(p, uint64(d.Z))
+	if hi != 0 || p > 1<<40 {
+		return 0, false
+	}
+	return int(p), true
 }
 
 // BatchInfo describes a block-batch payload without decoding its streams.
@@ -608,72 +518,16 @@ func PeekBatch(blob []byte) (BatchInfo, error) {
 	if h.kind != kindBatch {
 		return BatchInfo{}, fmt.Errorf("sz: payload kind %d, want %d", h.kind, kindBatch)
 	}
-	if len(h.dims) != 2 {
-		return BatchInfo{}, fmt.Errorf("sz: batch payload with %d dim records", len(h.dims))
-	}
-	d, count := h.dims[0], h.dims[1].X
-	if count <= 0 || d.Count()*count != h.n {
-		return BatchInfo{}, fmt.Errorf("sz: batch geometry %v × %d does not cover %d values", d, count, h.n)
+	d, count, err := h.batchGeometry()
+	if err != nil {
+		return BatchInfo{}, err
 	}
 	return BatchInfo{BlockDims: d, Blocks: count, EffectiveEB: h.eb, QuantBits: h.quantBits}, nil
 }
 
 // unseal parses a payload and returns the header, code stream and literal
-// pool.
+// pool (one-shot entry point; the Decoder method is the implementation).
 func unseal(blob []byte, wantKind int) (header, []uint32, []byte, error) {
-	h, blob, err := parseHeader(blob)
-	if err != nil {
-		return h, nil, nil, err
-	}
-	if h.kind != wantKind {
-		return h, nil, nil, fmt.Errorf("sz: payload kind %d, want %d", h.kind, wantKind)
-	}
-
-	huff, k, err := bitio.Bytes(blob)
-	if err != nil {
-		return h, nil, nil, fmt.Errorf("sz: reading code section: %w", err)
-	}
-	blob = blob[k:]
-	lits, _, err := bitio.Bytes(blob)
-	if err != nil {
-		return h, nil, nil, fmt.Errorf("sz: reading literal section: %w", err)
-	}
-	if h.lossless {
-		if huff, err = inflate(huff); err != nil {
-			return h, nil, nil, err
-		}
-		if lits, err = inflate(lits); err != nil {
-			return h, nil, nil, err
-		}
-	}
-	codes, err := huffman.Decode(huff)
-	if err != nil {
-		return h, nil, nil, err
-	}
-	return h, codes, lits, nil
-}
-
-func deflate(data []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	fw, err := flate.NewWriter(&buf, flate.BestSpeed)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := fw.Write(data); err != nil {
-		return nil, err
-	}
-	if err := fw.Close(); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-func inflate(data []byte) ([]byte, error) {
-	fr := flate.NewReader(bytes.NewReader(data))
-	defer fr.Close()
-	out, err := io.ReadAll(fr)
-	if err != nil {
-		return nil, fmt.Errorf("sz: inflating section: %w", err)
-	}
-	return out, nil
+	var d Decoder[float32] // T is irrelevant to section parsing
+	return d.unseal(blob, wantKind)
 }

@@ -41,7 +41,7 @@ func Decompress2D[T grid.Float](blob []byte) ([]T, int, int, error) {
 		return nil, 0, 0, fmt.Errorf("sz: 2D payload with %d dim records", len(hdr.dims))
 	}
 	nx, ny := hdr.dims[0].X, hdr.dims[0].Y
-	if nx*ny != hdr.n {
+	if n, ok := checkedCount(grid.Dims{X: nx, Y: ny, Z: 1}); !ok || n != hdr.n {
 		return nil, 0, 0, fmt.Errorf("sz: 2D geometry %d×%d does not cover %d values", nx, ny, hdr.n)
 	}
 	dq, err := newDequantizer[T](hdr, codes, lits)
