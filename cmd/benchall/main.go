@@ -30,6 +30,7 @@ type report struct {
 	Exhibits   []exhibitTiming                `json:"exhibits"`
 	Archive    experiments.ArchiveBenchResult `json:"archive"`
 	Engine     experiments.EngineBenchResult  `json:"engine"`
+	Entropy    experiments.EntropyBenchResult `json:"entropy"`
 	TotalSecs  float64                        `json:"total_seconds"`
 }
 
@@ -80,6 +81,11 @@ func main() {
 			log.Fatalf("engine bench: %v", err)
 		}
 		rep.Engine = eng
+		ent, err := experiments.EntropyBench(env)
+		if err != nil {
+			log.Fatalf("entropy bench: %v", err)
+		}
+		rep.Entropy = ent
 		rep.TotalSecs = time.Since(start).Seconds()
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -94,6 +100,8 @@ func main() {
 		fmt.Printf("[engine: compress %.0f allocs/op %.1f MB/s; decompress %.1f → %.1f MB/s (%.2fx with Workers=-1)]\n",
 			eng.CompressAllocsPerOp, eng.CompressMBps,
 			eng.DecompressSerialMBps, eng.DecompressParallelMBps, eng.DecompressSpeedup)
+		fmt.Printf("[entropy: %d codes (%d distinct), huffman encode %.1f MB/s, decode %.1f MB/s]\n",
+			ent.Symbols, ent.DistinctSymbols, ent.EncodeMBps, ent.DecodeMBps)
 	}
 	fmt.Printf("\n[benchall completed in %v at scale 1/%d]\n", time.Since(start).Round(time.Second), *scale)
 }

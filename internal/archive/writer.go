@@ -16,7 +16,8 @@ import (
 // encoders and decoders keep warm sz scratch shared by all writers and
 // readers in the process: each worker of the batch pipelines borrows one
 // for the duration of a frame, so steady-state archive traffic stops
-// allocating code streams, recon grids, Huffman tables and DEFLATE state.
+// allocating code streams, recon grids, Huffman codebook arenas and
+// decode lookup tables, and DEFLATE state.
 var (
 	encoders sz.EncoderPool[amr.Value]
 	decoders sz.DecoderPool[amr.Value]

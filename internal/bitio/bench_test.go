@@ -1,0 +1,59 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchStream builds a bit stream of n values with Huffman-like widths
+// (mostly short codes, occasional long ones) plus the width schedule to
+// read it back.
+func benchStream(n int) ([]byte, []uint) {
+	rng := rand.New(rand.NewSource(3))
+	widths := make([]uint, n)
+	w := NewWriter()
+	for i := range widths {
+		wd := uint(rng.Intn(6)) + 2 // 2-7 bits, the canonical-code common case
+		if rng.Intn(32) == 0 {
+			wd = uint(rng.Intn(30)) + 8 // occasional long code
+		}
+		widths[i] = wd
+		w.WriteBits(rng.Uint64()&(1<<wd-1), wd)
+	}
+	return w.Bytes(), widths
+}
+
+func BenchmarkBitWriter(b *testing.B) {
+	_, widths := benchStream(1 << 16)
+	b.SetBytes(int64(len(widths)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter()
+		for _, wd := range widths {
+			w.WriteBits(0x2a, wd)
+		}
+		if w.Bytes() == nil {
+			b.Fatal("empty stream")
+		}
+	}
+}
+
+func BenchmarkBitReader(b *testing.B) {
+	buf, widths := benchStream(1 << 16)
+	b.SetBytes(int64(len(widths)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf)
+		var sink uint64
+		for _, wd := range widths {
+			v, err := r.ReadBits(wd)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += v
+		}
+		if sink == 0 {
+			b.Fatal("degenerate stream")
+		}
+	}
+}

@@ -1,5 +1,11 @@
 // Package bitio provides bit-granular writers and readers plus varint
 // framing helpers, used by the Huffman coder and the TAC container format.
+//
+// Both the Writer and the Reader run on 64-bit accumulators: the Writer
+// packs pending bits left-aligned in a word and flushes eight bytes at a
+// time, and the Reader refills eight bytes at a time with a branch-light
+// byte tail, so the per-call cost on the entropy hot path is a couple of
+// shifts instead of a per-byte loop.
 package bitio
 
 import (
@@ -11,15 +17,20 @@ import (
 // Writer accumulates bits most-significant-first into a byte buffer.
 type Writer struct {
 	buf  []byte
-	cur  uint64 // pending bits, left-aligned within nbits
-	nbit uint   // number of pending bits in cur (< 8 after flushes)
+	acc  uint64 // pending bits, left-aligned (bit 63 is the next bit out)
+	nbit uint   // number of pending bits in acc (< 64)
 }
 
 // NewWriter returns an empty bit writer.
 func NewWriter() *Writer { return &Writer{} }
 
+// Reset makes w append to dst (commonly a recycled buffer, or a payload
+// under construction so the bit stream lands in place), discarding any
+// pending bits.
+func (w *Writer) Reset(dst []byte) { w.buf, w.acc, w.nbit = dst, 0, 0 }
+
 // WriteBits appends the low n bits of v, most significant first. n must be
-// in [0, 57] so the pending accumulator cannot overflow.
+// in [0, 57] so a single write can never spill more than one word.
 func (w *Writer) WriteBits(v uint64, n uint) {
 	if n == 0 {
 		return
@@ -27,12 +38,21 @@ func (w *Writer) WriteBits(v uint64, n uint) {
 	if n > 57 {
 		panic(fmt.Sprintf("bitio: WriteBits n=%d out of range", n))
 	}
-	w.cur = w.cur<<n | (v & (1<<n - 1))
-	w.nbit += n
-	for w.nbit >= 8 {
-		w.nbit -= 8
-		w.buf = append(w.buf, byte(w.cur>>w.nbit))
+	v &= 1<<n - 1
+	if free := 64 - w.nbit; n <= free {
+		w.acc |= v << (free - n)
+		w.nbit += n
+		if w.nbit == 64 {
+			w.buf = binary.BigEndian.AppendUint64(w.buf, w.acc)
+			w.acc, w.nbit = 0, 0
+		}
+		return
 	}
+	// The word fills mid-value: emit it and start the next with the spill.
+	spill := n - (64 - w.nbit)
+	w.buf = binary.BigEndian.AppendUint64(w.buf, w.acc|v>>spill)
+	w.acc = v << (64 - spill)
+	w.nbit = spill
 }
 
 // WriteBit appends a single bit.
@@ -45,12 +65,16 @@ func (w *Writer) WriteBit(b bool) {
 }
 
 // Bytes flushes any partial byte (zero-padded on the right) and returns the
-// accumulated buffer. The writer may not be reused afterwards.
+// accumulated buffer. The writer may not be reused afterwards without Reset.
 func (w *Writer) Bytes() []byte {
-	if w.nbit > 0 {
-		w.buf = append(w.buf, byte(w.cur<<(8-w.nbit)))
-		w.nbit = 0
-		w.cur = 0
+	for w.nbit > 0 {
+		w.buf = append(w.buf, byte(w.acc>>56))
+		w.acc <<= 8
+		if w.nbit >= 8 {
+			w.nbit -= 8
+		} else {
+			w.nbit = 0
+		}
 	}
 	return w.buf
 }
@@ -61,9 +85,9 @@ func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nbit) }
 // Reader consumes bits most-significant-first from a byte slice.
 type Reader struct {
 	buf  []byte
-	pos  int    // next byte index
-	cur  uint64 // loaded bits, right-aligned
-	nbit uint   // number of valid bits in cur
+	pos  int    // next unread byte
+	acc  uint64 // upcoming bits, left-aligned (bit 63 is the next bit in)
+	nbit uint   // number of valid bits in acc
 }
 
 // NewReader wraps buf for bit-level reading.
@@ -72,21 +96,55 @@ func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 // ErrUnexpectedEOF is returned when a read runs past the end of the buffer.
 var ErrUnexpectedEOF = errors.New("bitio: unexpected end of bit stream")
 
+// refill tops the accumulator up to at least 57 valid bits (or to the end
+// of the stream). The common case absorbs a whole big-endian word in one
+// load; within eight bytes of the end it falls back to a short byte loop.
+// Bits of acc beyond nbit always mirror the bytes still at pos, so the OR
+// in the word path is idempotent across partial consumes.
+func (r *Reader) refill() {
+	if r.pos+8 <= len(r.buf) {
+		r.acc |= binary.BigEndian.Uint64(r.buf[r.pos:]) >> r.nbit
+		adv := (64 - r.nbit) >> 3
+		r.pos += int(adv)
+		r.nbit += adv * 8
+		return
+	}
+	for r.nbit <= 56 && r.pos < len(r.buf) {
+		r.acc |= uint64(r.buf[r.pos]) << (56 - r.nbit)
+		r.pos++
+		r.nbit += 8
+	}
+}
+
+// drain empties the reader so every subsequent read fails too: a truncated
+// stream yields no partial values, before or after the error.
+func (r *Reader) drain() {
+	r.acc, r.nbit = 0, 0
+	r.pos = len(r.buf)
+}
+
 // ReadBits reads n bits (n ≤ 57) and returns them right-aligned.
+//
+// If fewer than n bits remain the stream is truncated: ReadBits returns
+// ErrUnexpectedEOF and leaves the reader drained, so the leftover bits are
+// never handed out piecemeal by later, smaller reads.
 func (r *Reader) ReadBits(n uint) (uint64, error) {
 	if n > 57 {
 		panic(fmt.Sprintf("bitio: ReadBits n=%d out of range", n))
 	}
-	for r.nbit < n {
-		if r.pos >= len(r.buf) {
+	if n == 0 {
+		return 0, nil
+	}
+	if r.nbit < n {
+		r.refill()
+		if r.nbit < n {
+			r.drain()
 			return 0, ErrUnexpectedEOF
 		}
-		r.cur = r.cur<<8 | uint64(r.buf[r.pos])
-		r.pos++
-		r.nbit += 8
 	}
+	v := r.acc >> (64 - n)
+	r.acc <<= n
 	r.nbit -= n
-	v := (r.cur >> r.nbit) & (1<<n - 1)
 	return v, nil
 }
 
@@ -95,6 +153,45 @@ func (r *Reader) ReadBit() (bool, error) {
 	v, err := r.ReadBits(1)
 	return v == 1, err
 }
+
+// Peek returns the next n bits (n ≤ 57) right-aligned in the low n bits
+// (MSB first) without consuming them. If fewer than n bits remain, the missing low
+// bits are zero; pair with Remaining to detect the true stream end. This
+// is the table-driven entropy decoder's lookup key.
+func (r *Reader) Peek(n uint) uint64 {
+	if n > 57 {
+		panic(fmt.Sprintf("bitio: Peek n=%d out of range", n))
+	}
+	if n == 0 {
+		return 0
+	}
+	if r.nbit < n {
+		r.refill()
+	}
+	return r.acc >> (64 - n)
+}
+
+// Consume discards n bits (n ≤ 57), typically after a Peek decided how
+// many were used. Like ReadBits it returns ErrUnexpectedEOF and drains the
+// reader if fewer than n bits remain.
+func (r *Reader) Consume(n uint) error {
+	if n > 57 {
+		panic(fmt.Sprintf("bitio: Consume n=%d out of range", n))
+	}
+	if r.nbit < n {
+		r.refill()
+		if r.nbit < n {
+			r.drain()
+			return ErrUnexpectedEOF
+		}
+	}
+	r.acc <<= n
+	r.nbit -= n
+	return nil
+}
+
+// Remaining reports how many unread bits the stream still holds.
+func (r *Reader) Remaining() int { return int(r.nbit) + 8*(len(r.buf)-r.pos) }
 
 // AppendUvarint appends x to dst in unsigned LEB128 form.
 func AppendUvarint(dst []byte, x uint64) []byte {

@@ -41,9 +41,10 @@ import (
 // ID is TAC's codec identifier in the shared container format.
 const ID = 1
 
-// encoders and decoders hold warm sz scratch for the one-shot entry
-// points, so even codec.Codec-interface callers stop paying per-call
-// allocation once the process is warm.
+// encoders and decoders hold warm sz scratch — including the Huffman
+// encode arenas and the decode-side lookup tables — for the one-shot
+// entry points, so even codec.Codec-interface callers stop paying
+// per-call allocation once the process is warm.
 var (
 	encoders sz.EncoderPool[amr.Value]
 	decoders sz.DecoderPool[amr.Value]

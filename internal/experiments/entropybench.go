@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/huffman"
+	"repro/internal/sim"
+	"repro/internal/sz"
+)
+
+// EntropyBenchResult is the machine-readable record of the entropy stage in
+// isolation: canonical Huffman encode/decode throughput on the actual
+// quantization-code stream the Run1_Z10 snapshot produces, tracking the
+// table-driven coder across PRs. Throughput is measured over the symbol
+// stream's in-memory size (4 bytes per uint32 code).
+type EntropyBenchResult struct {
+	Dataset         string  `json:"dataset"`
+	Symbols         int     `json:"symbols"`
+	DistinctSymbols int     `json:"distinct_symbols"`
+	EncodedBytes    int     `json:"encoded_bytes"`
+	EncodeNsPerOp   float64 `json:"huffman_encode_ns_per_op"`
+	EncodeMBps      float64 `json:"huffman_encode_mb_per_s"`
+	DecodeNsPerOp   float64 `json:"huffman_decode_ns_per_op"`
+	DecodeMBps      float64 `json:"huffman_decode_mb_per_s"`
+}
+
+// EntropyBench isolates the Huffman stage: it compresses the Run1_Z10
+// finest level once to obtain the real quantization-code stream, then
+// measures warm pooled encode and decode over that stream alone.
+func EntropyBench(env *Env) (EntropyBenchResult, error) {
+	var res EntropyBenchResult
+	ds, err := env.Dataset("Run1_Z10", sim.BaryonDensity)
+	if err != nil {
+		return res, err
+	}
+	res.Dataset = ds.Name
+
+	blob, _, err := sz.Compress3D(ds.Levels[0].Grid, sz.Options{ErrorBound: 1e9})
+	if err != nil {
+		return res, fmt.Errorf("entropy bench compress: %w", err)
+	}
+	codes, err := sz.ExtractCodes(blob)
+	if err != nil {
+		return res, fmt.Errorf("entropy bench extract: %w", err)
+	}
+	res.Symbols = len(codes)
+	distinct := make(map[uint32]struct{})
+	for _, c := range codes {
+		distinct[c] = struct{}{}
+	}
+	res.DistinctSymbols = len(distinct)
+	streamBytes := 4 * len(codes)
+
+	const iters = 12
+	var enc huffman.Encoder
+	huffBlob := enc.AppendEncode(nil, codes) // warm the scratch
+	res.EncodedBytes = len(huffBlob)
+	res.EncodeNsPerOp, _, _, err = measureLoop(iters, func() error {
+		huffBlob = enc.AppendEncode(huffBlob[:0], codes)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.EncodeMBps = float64(streamBytes) / 1e6 / (res.EncodeNsPerOp / 1e9)
+
+	var dec huffman.Decoder
+	out, err := dec.AppendDecode(nil, huffBlob)
+	if err != nil {
+		return res, fmt.Errorf("entropy bench decode: %w", err)
+	}
+	res.DecodeNsPerOp, _, _, err = measureLoop(iters, func() error {
+		var derr error
+		out, derr = dec.AppendDecode(out[:0], huffBlob)
+		return derr
+	})
+	if err != nil {
+		return res, err
+	}
+	res.DecodeMBps = float64(streamBytes) / 1e6 / (res.DecodeNsPerOp / 1e9)
+	return res, nil
+}

@@ -1,0 +1,116 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitio"
+)
+
+// huffFuzzSeeds builds structurally plausible blobs — valid encodings of
+// several distribution shapes plus handcrafted malformed codebooks — so
+// the fuzzer starts near the interesting surfaces: the codebook validator,
+// the LUT build, and the overflow decode path. The same seeds are checked
+// in under testdata/fuzz for deterministic CI runs.
+func huffFuzzSeeds() [][]byte {
+	var seeds [][]byte
+
+	seeds = append(seeds, Encode(nil))
+	seeds = append(seeds, Encode([]uint32{7, 7, 7, 7}))
+	seeds = append(seeds, Encode([]uint32{0, 1, 2, 0, 1, 0}))
+
+	rng := rand.New(rand.NewSource(21))
+	skew := make([]uint32, 4096)
+	for i := range skew {
+		v := uint32(32768)
+		for rng.Intn(2) == 0 && v < 32790 {
+			v++
+		}
+		skew[i] = v
+	}
+	seeds = append(seeds, Encode(skew))
+
+	wide := make([]uint32, 4096)
+	for i := range wide {
+		wide[i] = uint32(rng.Intn(9000)) // deep codebook: overflow decode path
+	}
+	seeds = append(seeds, Encode(wide))
+
+	// Malformed codebooks, framed well enough to reach the validator.
+	mk := func(nsyms uint64, pairs [][2]uint64, body []byte) []byte {
+		var hdr []byte
+		hdr = bitio.AppendUvarint(hdr, nsyms)
+		hdr = bitio.AppendUvarint(hdr, uint64(len(pairs)))
+		for _, p := range pairs {
+			hdr = bitio.AppendUvarint(hdr, p[0])
+			hdr = bitio.AppendUvarint(hdr, p[1])
+		}
+		return append(bitio.AppendBytes(nil, hdr), body...)
+	}
+	seeds = append(seeds,
+		mk(4, [][2]uint64{{0, 1}, {1, 1}, {1, 1}}, []byte{0xaa}), // over-subscribed
+		mk(4, [][2]uint64{{3, 2}, {0, 2}}, []byte{0xaa}),         // duplicate symbol
+		mk(4, [][2]uint64{{1 << 33, 2}}, []byte{0xaa}),           // symbol overflow
+		mk(8, [][2]uint64{{0, 57}, {1, 57}}, []byte{0xff, 0xff}), // max-length codes
+		mk(100, [][2]uint64{{5, 3}}, []byte{0x00}),               // count beyond stream
+	)
+	return seeds
+}
+
+// FuzzAppendDecode fuzzes the full decode surface: header framing, the
+// codebook validator (Kraft, duplicates, overflow), the LUT build and both
+// decode paths. Corrupt input must error, never panic or over-allocate;
+// successful decodes must survive a re-encode/re-decode round trip and be
+// reproducible through a reused Decoder.
+func FuzzAppendDecode(f *testing.F) {
+	for _, s := range huffFuzzSeeds() {
+		f.Add(s)
+		if len(s) > 6 {
+			mut := append([]byte(nil), s...)
+			mut[len(mut)/2] ^= 0x11
+			f.Add(mut)
+			f.Add(s[:len(s)-2]) // truncated tail
+		}
+	}
+	var pooled Decoder
+	var scratch []uint32
+	f.Fuzz(func(t *testing.T, data []byte) {
+		syms, err := AppendDecode(nil, data)
+		if err != nil {
+			return
+		}
+		if len(syms) > 8*len(data) {
+			t.Fatalf("decoded %d symbols from %d bytes: over-allocation guard failed", len(syms), len(data))
+		}
+		// A pooled decoder carrying tables from previous inputs must agree.
+		var perr error
+		scratch, perr = pooled.AppendDecode(scratch[:0], data)
+		if perr != nil {
+			t.Fatalf("pooled decoder rejected input the fresh decoder accepted: %v", perr)
+		}
+		if len(scratch) != len(syms) {
+			t.Fatalf("pooled decoder: %d symbols, fresh: %d", len(scratch), len(syms))
+		}
+		for i := range syms {
+			if scratch[i] != syms[i] {
+				t.Fatalf("pooled decoder diverges at symbol %d", i)
+			}
+		}
+		// Decoded symbols must survive a canonical re-encode round trip.
+		re := Encode(syms)
+		back, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encode of decoded stream does not decode: %v", err)
+		}
+		if len(back) != len(syms) {
+			t.Fatalf("re-encode round trip: %d symbols, want %d", len(back), len(syms))
+		}
+		for i := range syms {
+			if back[i] != syms[i] {
+				t.Fatalf("re-encode round trip diverges at symbol %d", i)
+			}
+		}
+		_ = bytes.Equal(re, data) // blobs need not match (non-canonical headers decode too)
+	})
+}

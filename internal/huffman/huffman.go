@@ -6,91 +6,226 @@
 // Codes are canonical: only the code length of each present symbol is
 // serialized, and both sides reconstruct identical codebooks, so the header
 // overhead stays small even for large quantization-bin alphabets.
+//
+// Both directions are table-driven. The encoder counts frequencies and
+// emits codes through dense arrays whenever the alphabet is small (the
+// common case: quantization codes are bounded by 2^QuantBits), falling back
+// to maps for sparse 32-bit alphabets. The decoder resolves symbols through
+// a primary lookup table indexed by the next TableBits bits of the stream —
+// one table hit per symbol instead of a bit-by-bit walk — with a canonical
+// first-code/offset path for the rare codes longer than TableBits.
 package huffman
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/bitio"
 )
 
-const maxCodeLen = 57 // fits in a single bitio read; depth is clamped below
+const (
+	// maxCodeLen bounds serialized code lengths so any code fits in a
+	// single bitio read. Lengths beyond it are redistributed (not clamped)
+	// by limitLengths, preserving prefix-freeness.
+	maxCodeLen = 57
 
-// node is an internal tree node used only during code-length construction.
+	// TableBits is the index width of the primary decode table: one
+	// 2^TableBits-entry lookup resolves every code of up to TableBits
+	// bits in a single probe. It is the decoder's footprint knob — each
+	// pooled Decoder keeps a 2^TableBits × 8-byte table (32 KiB at 12)
+	// warm across calls; codes longer than TableBits (rare by
+	// construction: a code that long had a tiny frequency) take the
+	// canonical first-code overflow path instead.
+	TableBits = 12
+
+	// denseAlphabet bounds the symbol range for the dense encode-side
+	// arrays (frequency counts and per-symbol code tables). 2^16 covers
+	// the default QuantBits=16 code space exactly; streams with larger
+	// symbols use the map fallback.
+	denseAlphabet = 1 << 16
+)
+
+// symFreq is one (symbol, frequency) input pair for the tree build.
+type symFreq struct {
+	sym  uint32
+	freq uint64
+}
+
+// node is an arena-allocated tree node used during code-length
+// construction. Leaves have left == -1; children always precede their
+// parent in the arena.
 type node struct {
 	freq        uint64
-	sym         uint32
-	leaf        bool
-	left, right *node
+	sym         uint32 // min symbol in subtree: deterministic tie-break
+	depth       uint32
+	left, right int32
 }
 
-type nodeHeap []*node
+// treeBuilder owns the node arena and heap scratch for Huffman tree
+// construction, so repeated builds stop allocating.
+type treeBuilder struct {
+	nodes []node
+	heap  []int32
+}
 
-func (h nodeHeap) Len() int { return len(h) }
-func (h nodeHeap) Less(i, j int) bool {
-	if h[i].freq != h[j].freq {
-		return h[i].freq < h[j].freq
+func (tb *treeBuilder) less(a, b int32) bool {
+	na, nb := &tb.nodes[a], &tb.nodes[b]
+	if na.freq != nb.freq {
+		return na.freq < nb.freq
 	}
-	// Deterministic tie-break keeps encodings reproducible across runs.
-	return h[i].sym < h[j].sym
+	// Deterministic tie-break keeps encodings reproducible across runs:
+	// subtrees alive in the heap are disjoint, so (freq, sym) is a strict
+	// total order and the pop sequence — hence every code length — is
+	// independent of input order.
+	return na.sym < nb.sym
 }
-func (h nodeHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x any)       { *h = append(*h, x.(*node)) }
-func (h *nodeHeap) Pop() any         { old := *h; n := old[len(old)-1]; *h = old[:len(old)-1]; return n }
-func (h nodeHeap) Peek() *node       { return h[0] }
-func (h *nodeHeap) PushNode(n *node) { heap.Push(h, n) }
-func (h *nodeHeap) PopNode() *node   { return heap.Pop(h).(*node) }
 
-// codeLengths computes per-symbol code lengths from frequencies using the
-// classic two-queue Huffman construction on a binary heap.
-func codeLengths(freq map[uint32]uint64) map[uint32]uint8 {
-	lens := make(map[uint32]uint8, len(freq))
-	switch len(freq) {
-	case 0:
-		return lens
-	case 1:
-		for s := range freq {
-			lens[s] = 1
+func (tb *treeBuilder) siftDown(i int) {
+	h := tb.heap
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && tb.less(h[l], h[m]) {
+			m = l
 		}
-		return lens
-	}
-	h := make(nodeHeap, 0, len(freq))
-	for s, f := range freq {
-		h = append(h, &node{freq: f, sym: s, leaf: true})
-	}
-	heap.Init(&h)
-	for h.Len() > 1 {
-		a := h.PopNode()
-		b := h.PopNode()
-		h.PushNode(&node{freq: a.freq + b.freq, sym: minU32(a.sym, b.sym), left: a, right: b})
-	}
-	var walk func(n *node, depth uint8)
-	walk = func(n *node, depth uint8) {
-		if n.leaf {
-			if depth == 0 {
-				depth = 1
-			}
-			if depth > maxCodeLen {
-				depth = maxCodeLen // pathological skew; canonical rebuild below stays prefix-free only if lengths are valid, so clamp is a safety net for absurd alphabets
-			}
-			lens[n.sym] = depth
+		if r < len(h) && tb.less(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
 			return
 		}
-		walk(n.left, depth+1)
-		walk(n.right, depth+1)
+		h[i], h[m] = h[m], h[i]
+		i = m
 	}
-	walk(h.Peek(), 0)
-	return lens
 }
 
-func minU32(a, b uint32) uint32 {
-	if a < b {
-		return a
+func (tb *treeBuilder) siftUp(i int) {
+	h := tb.heap
+	for i > 0 {
+		p := (i - 1) / 2
+		if !tb.less(h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
 	}
-	return b
+}
+
+func (tb *treeBuilder) pop() int32 {
+	h := tb.heap
+	top := h[0]
+	h[0] = h[len(h)-1]
+	tb.heap = h[:len(h)-1]
+	tb.siftDown(0)
+	return top
+}
+
+func (tb *treeBuilder) push(i int32) {
+	tb.heap = append(tb.heap, i)
+	tb.siftUp(len(tb.heap) - 1)
+}
+
+// codeLengths appends per-symbol (symbol, length) pairs computed with the
+// classic Huffman construction. Lengths are raw tree depths (capped at 255
+// for storage); callers must run limitLengths before canonicalize.
+func (tb *treeBuilder) codeLengths(dst []symCode, sf []symFreq) []symCode {
+	switch len(sf) {
+	case 0:
+		return dst
+	case 1:
+		return append(dst, symCode{sym: sf[0].sym, len: 1})
+	}
+	nodes := tb.nodes[:0]
+	for _, p := range sf {
+		nodes = append(nodes, node{freq: p.freq, sym: p.sym, left: -1, right: -1})
+	}
+	tb.nodes = nodes
+	tb.heap = tb.heap[:0]
+	for i := range nodes {
+		tb.heap = append(tb.heap, int32(i))
+	}
+	for i := len(tb.heap)/2 - 1; i >= 0; i-- {
+		tb.siftDown(i)
+	}
+	for len(tb.heap) > 1 {
+		a := tb.pop()
+		b := tb.pop()
+		na, nb := &tb.nodes[a], &tb.nodes[b]
+		sym := na.sym
+		if nb.sym < sym {
+			sym = nb.sym
+		}
+		tb.nodes = append(tb.nodes, node{freq: na.freq + nb.freq, sym: sym, left: a, right: b})
+		tb.push(int32(len(tb.nodes) - 1))
+	}
+	// Children precede parents in the arena, so one reverse sweep from the
+	// root (always the last merge) assigns every depth without recursion —
+	// no stack growth even for pathologically deep trees.
+	nodes = tb.nodes
+	nodes[len(nodes)-1].depth = 0
+	for i := len(nodes) - 1; i >= len(sf); i-- {
+		d := nodes[i].depth + 1
+		nodes[nodes[i].left].depth = d
+		nodes[nodes[i].right].depth = d
+	}
+	for i, p := range sf {
+		d := nodes[i].depth
+		if d > 255 {
+			d = 255 // storage cap only; limitLengths redistributes next
+		}
+		dst = append(dst, symCode{sym: p.sym, len: uint8(d)})
+	}
+	return dst
+}
+
+// limitLengths enforces maxCodeLen while keeping the code set prefix-free.
+// Over-long codes are clamped to maxCodeLen, which over-subscribes the
+// Kraft sum; the deficit is repaid by deepening the deepest still-
+// shortenable codes (smallest symbol first for determinism) until
+// Σ 2^-len ≤ 1 again. This replaces the old bare clamp, which could
+// produce a non-prefix-free codebook for pathologically skewed alphabets.
+// Unreachable for counted streams (depth > 57 needs ~Fib(58) ≈ 6·10^11
+// symbols), so real payloads are byte-identical with or without it.
+func limitLengths(codes []symCode) {
+	over := false
+	for i := range codes {
+		if codes[i].len > maxCodeLen {
+			over = true
+			break
+		}
+	}
+	if !over {
+		return
+	}
+	const full = uint64(1) << maxCodeLen
+	var kraft uint64
+	for i := range codes {
+		if codes[i].len > maxCodeLen {
+			codes[i].len = maxCodeLen
+		}
+		kraft += full >> codes[i].len
+	}
+	for kraft > full {
+		best := -1
+		for i := range codes {
+			if codes[i].len >= maxCodeLen {
+				continue
+			}
+			if best < 0 || codes[i].len > codes[best].len ||
+				(codes[i].len == codes[best].len && codes[i].sym < codes[best].sym) {
+				best = i
+			}
+		}
+		if best < 0 {
+			// Would need > 2^maxCodeLen codes; impossible for a uint32
+			// alphabet, but never loop forever on a logic error.
+			break
+		}
+		kraft -= full >> (codes[best].len + 1)
+		codes[best].len++
+	}
 }
 
 // symCode is one entry of a canonical codebook.
@@ -100,13 +235,9 @@ type symCode struct {
 	code uint64
 }
 
-// canonicalize assigns canonical codes: symbols sorted by (length, symbol)
-// receive consecutive codes.
-func canonicalize(lens map[uint32]uint8) []symCode {
-	codes := make([]symCode, 0, len(lens))
-	for s, l := range lens {
-		codes = append(codes, symCode{sym: s, len: l})
-	}
+// canonicalize assigns canonical codes in place: symbols sorted by
+// (length, symbol) receive consecutive codes.
+func canonicalize(codes []symCode) []symCode {
 	sort.Slice(codes, func(i, j int) bool {
 		if codes[i].len != codes[j].len {
 			return codes[i].len < codes[j].len
@@ -124,34 +255,70 @@ func canonicalize(lens map[uint32]uint8) []symCode {
 	return codes
 }
 
-// Encoder holds reusable encoding scratch (frequency table, codebooks,
-// header and bit-stream buffers) so repeated Encode calls on a hot path
-// stop allocating. The zero value is ready to use; an Encoder is not safe
-// for concurrent use. Output is byte-identical to the package-level Encode.
+// Encoder holds reusable encoding scratch (frequency tables, the tree-
+// build arena, codebooks, header buffer and the bit writer) so repeated
+// Encode calls on a hot path stop allocating. The zero value is ready to
+// use; an Encoder is not safe for concurrent use. Output is byte-identical
+// to the package-level Encode.
 type Encoder struct {
-	freq  map[uint32]uint64
-	bySym []symCode
-	hdr   []byte
+	freq    map[uint32]uint64 // sparse-alphabet frequency fallback
+	dense   []uint64          // dense frequencies, indexed by symbol
+	sf      []symFreq         // (symbol, frequency) worklist
+	tb      treeBuilder
+	codes   []symCode // canonical codebook scratch
+	bySym   []symCode // codebook in symbol order for the header
+	encLen  []uint8   // dense emit tables, indexed by symbol
+	encCode []uint64
+	table   map[uint32]symCode // sparse emit fallback
+	hdr     []byte
+	w       bitio.Writer
 }
 
 // AppendEncode Huffman-codes syms and appends the self-contained blob
 // (codebook header + bit stream) to dst, returning the extended slice.
 func (e *Encoder) AppendEncode(dst []byte, syms []uint32) []byte {
-	if e.freq == nil {
-		e.freq = make(map[uint32]uint64)
-	} else {
-		clear(e.freq)
-	}
+	var maxSym uint32
 	for _, s := range syms {
-		e.freq[s]++
+		if s > maxSym {
+			maxSym = s
+		}
 	}
-	lens := codeLengths(e.freq)
-	codes := canonicalize(lens)
+	dense := len(syms) > 0 && maxSym < denseAlphabet
+	sf := e.sf[:0]
+	if dense {
+		n := int(maxSym) + 1
+		if cap(e.dense) < n {
+			e.dense = make([]uint64, n)
+		}
+		fr := e.dense[:n]
+		clear(fr)
+		for _, s := range syms {
+			fr[s]++
+		}
+		for s, f := range fr {
+			if f != 0 {
+				sf = append(sf, symFreq{sym: uint32(s), freq: f})
+			}
+		}
+	} else if len(syms) > 0 {
+		if e.freq == nil {
+			e.freq = make(map[uint32]uint64)
+		} else {
+			clear(e.freq)
+		}
+		for _, s := range syms {
+			e.freq[s]++
+		}
+		for s, f := range e.freq {
+			sf = append(sf, symFreq{sym: s, freq: f})
+		}
+	}
+	e.sf = sf
 
-	table := make(map[uint32]symCode, len(codes))
-	for _, c := range codes {
-		table[c.sym] = c
-	}
+	codes := e.tb.codeLengths(e.codes[:0], sf)
+	limitLengths(codes)
+	codes = canonicalize(codes)
+	e.codes = codes
 
 	// Header: nsyms, count of distinct symbols, then (symbol, length) pairs
 	// with delta-coded symbols (quantization codes cluster near the middle
@@ -170,16 +337,40 @@ func (e *Encoder) AppendEncode(dst []byte, syms []uint32) []byte {
 	}
 	e.hdr = hdr
 
-	w := bitio.NewWriter()
-	for _, s := range syms {
-		c := table[s]
-		w.WriteBits(c.code, uint(c.len))
-	}
-	body := w.Bytes()
-
+	// The bit stream is written straight onto dst after the header — no
+	// staging copy.
 	dst = bitio.AppendBytes(dst, hdr)
-	dst = append(dst, body...)
-	return dst
+	e.w.Reset(dst)
+	if dense {
+		n := int(maxSym) + 1
+		if cap(e.encLen) < n {
+			e.encLen = make([]uint8, n)
+			e.encCode = make([]uint64, n)
+		}
+		encLen := e.encLen[:n]
+		encCode := e.encCode[:n]
+		for _, c := range codes {
+			encLen[c.sym] = c.len
+			encCode[c.sym] = c.code
+		}
+		for _, s := range syms {
+			e.w.WriteBits(encCode[s], uint(encLen[s]))
+		}
+	} else {
+		if e.table == nil {
+			e.table = make(map[uint32]symCode, len(codes))
+		} else {
+			clear(e.table)
+		}
+		for _, c := range codes {
+			e.table[c.sym] = c
+		}
+		for _, s := range syms {
+			c := e.table[s]
+			e.w.WriteBits(c.code, uint(c.len))
+		}
+	}
+	return e.w.Bytes()
 }
 
 // Encode Huffman-codes syms and returns a self-contained byte blob
@@ -192,11 +383,43 @@ func Encode(syms []uint32) []byte {
 // Decode inverts Encode. It returns an error for truncated or corrupt input.
 func Decode(blob []byte) ([]uint32, error) { return AppendDecode(nil, blob) }
 
-// AppendDecode is Decode appending into dst's spare capacity, letting hot
-// decompression paths reuse one symbol buffer across calls. It returns an
-// error for truncated or corrupt input without over-allocating: claimed
-// symbol counts are validated against the bit stream's actual size first.
+// AppendDecode is Decode appending into dst's spare capacity. One-shot
+// callers pay a fresh decode table per call; hot paths should pool a
+// Decoder instead.
 func AppendDecode(dst []uint32, blob []byte) ([]uint32, error) {
+	var d Decoder
+	return d.AppendDecode(dst, blob)
+}
+
+// lutLong marks a primary-table entry whose bits are the prefix of one or
+// more codes longer than the table index; decoding falls through to the
+// canonical first-code path. Primary entries pack sym<<8 | len; a zero
+// entry is an unassigned (invalid) code.
+const lutLong = 0xff
+
+// Decoder holds the reusable decode-side scratch: the parsed codebook, the
+// primary lookup table and the canonical overflow tables, kept warm across
+// calls so steady-state decoding allocates only the output. The zero value
+// is ready to use; a Decoder is not safe for concurrent use — pool one per
+// goroutine (internal/sz's Decoder engines do exactly that).
+type Decoder struct {
+	codes []symCode
+	lut   []uint64 // 2^k entries, k = min(maxLen, TableBits)
+	syms  []uint32 // symbols in canonical order, for the overflow path
+
+	// Canonical decode state for code lengths in (TableBits, maxCodeLen]:
+	// at length l, codes occupy [first[l], first[l]+count[l]) and map to
+	// syms[base[l]+...].
+	first [maxCodeLen + 1]uint64
+	base  [maxCodeLen + 1]int32
+	count [maxCodeLen + 1]uint32
+}
+
+// AppendDecode decodes blob appending into dst's spare capacity. It
+// returns an error for truncated or corrupt input without over-allocating:
+// claimed symbol counts are validated against the bit stream's actual size
+// and the codebook against the Kraft inequality before any table is built.
+func (d *Decoder) AppendDecode(dst []uint32, blob []byte) ([]uint32, error) {
 	hdr, n, err := bitio.Bytes(blob)
 	if err != nil {
 		return nil, fmt.Errorf("huffman: reading header: %w", err)
@@ -225,8 +448,10 @@ func AppendDecode(dst []uint32, blob []byte) ([]uint32, error) {
 		return nil, fmt.Errorf("huffman: %d codebook entries claimed in a %d-byte header", ncodes, len(hdr))
 	}
 
-	lens := make(map[uint32]uint8, ncodes)
-	prev := uint32(0)
+	const full = uint64(1) << maxCodeLen
+	var kraft uint64
+	codes := d.codes[:0]
+	prev := uint64(0)
 	for i := uint64(0); i < ncodes; i++ {
 		ds, k, err := bitio.Uvarint(hdr)
 		if err != nil {
@@ -241,59 +466,121 @@ func AppendDecode(dst []uint32, blob []byte) ([]uint32, error) {
 		if l == 0 || l > maxCodeLen {
 			return nil, fmt.Errorf("huffman: invalid code length %d", l)
 		}
-		sym := prev + uint32(ds)
-		lens[sym] = uint8(l)
+		if i > 0 && ds == 0 {
+			return nil, fmt.Errorf("huffman: duplicate codebook symbol %d", prev)
+		}
+		sym := prev + ds
+		if ds > math.MaxUint32 || sym > math.MaxUint32 {
+			return nil, errors.New("huffman: codebook symbol overflows uint32")
+		}
+		// A valid codebook satisfies the Kraft inequality; rejecting
+		// over-subscribed length sets here keeps the table build safe.
+		kraft += full >> l
+		if kraft > full {
+			return nil, errors.New("huffman: over-subscribed codebook")
+		}
+		codes = append(codes, symCode{sym: uint32(sym), len: uint8(l)})
 		prev = sym
 	}
-	codes := canonicalize(lens)
+	d.codes = codes
 
-	// Group canonical codes by length for linear-scan decoding: for each
-	// length we know the first code and the symbol list, so decoding is a
-	// compare per length class (lengths are few; symbol counts are large).
-	type lenClass struct {
-		len       uint8
-		firstCode uint64
-		syms      []uint32
+	if nsyms == 0 {
+		return dst[:0], nil
 	}
-	var classes []lenClass
-	for _, c := range codes {
-		if len(classes) == 0 || classes[len(classes)-1].len != c.len {
-			classes = append(classes, lenClass{len: c.len, firstCode: c.code})
-		}
-		cl := &classes[len(classes)-1]
-		cl.syms = append(cl.syms, c.sym)
-	}
+
+	codes = canonicalize(codes)
+	tableBits, maxLen := d.build(codes)
 
 	r := bitio.NewReader(body)
 	out := dst[:0]
 	if cap(out) < int(nsyms) {
 		out = make([]uint32, 0, nsyms)
 	}
+	lut := d.lut
 	for uint64(len(out)) < nsyms {
-		var code uint64
-		var clen uint8
+		e := lut[r.Peek(tableBits)]
+		l := e & 0xff
+		if l == 0 {
+			return nil, fmt.Errorf("huffman: invalid code at symbol %d", len(out))
+		}
+		if l != lutLong {
+			if err := r.Consume(uint(l)); err != nil {
+				return nil, fmt.Errorf("huffman: bit stream truncated at symbol %d: %w", len(out), err)
+			}
+			out = append(out, uint32(e>>8))
+			continue
+		}
+		// Overflow path: resolve codes longer than the primary table by
+		// canonical (first code, offset) comparison per length.
+		v := r.Peek(maxLen)
 		matched := false
-		for _, cl := range classes {
-			for clen < cl.len {
-				b, err := r.ReadBit()
-				if err != nil {
-					return nil, fmt.Errorf("huffman: bit stream truncated at symbol %d: %w", len(out), err)
-				}
-				code <<= 1
-				if b {
-					code |= 1
-				}
-				clen++
+		for cl := tableBits + 1; cl <= maxLen; cl++ {
+			cnt := d.count[cl]
+			if cnt == 0 {
+				continue
 			}
-			if off := code - cl.firstCode; code >= cl.firstCode && off < uint64(len(cl.syms)) {
-				out = append(out, cl.syms[off])
-				matched = true
-				break
+			c := v >> (maxLen - cl)
+			if c < d.first[cl] {
+				continue
 			}
+			off := c - d.first[cl]
+			if off >= uint64(cnt) {
+				continue
+			}
+			if err := r.Consume(cl); err != nil {
+				return nil, fmt.Errorf("huffman: bit stream truncated at symbol %d: %w", len(out), err)
+			}
+			out = append(out, d.syms[int(d.base[cl])+int(off)])
+			matched = true
+			break
 		}
 		if !matched {
-			return nil, fmt.Errorf("huffman: invalid code 0b%b (len %d) at symbol %d", code, clen, len(out))
+			return nil, fmt.Errorf("huffman: invalid code at symbol %d", len(out))
 		}
 	}
 	return out, nil
+}
+
+// build (re)fills the decoder's tables from a canonicalized codebook and
+// returns the primary table's index width and the maximum code length.
+// The codebook must be non-empty and satisfy Kraft (validated by the
+// caller), which guarantees every fill range below stays in bounds.
+func (d *Decoder) build(codes []symCode) (tableBits uint, maxLen uint) {
+	maxLen = uint(codes[len(codes)-1].len)
+	tableBits = maxLen
+	if tableBits > TableBits {
+		tableBits = TableBits
+	}
+	size := 1 << tableBits
+	if cap(d.lut) < size {
+		d.lut = make([]uint64, size)
+	}
+	d.lut = d.lut[:size]
+	clear(d.lut)
+	d.syms = d.syms[:0]
+	if maxLen > TableBits {
+		for i := range d.count {
+			d.count[i] = 0
+		}
+	}
+	for i, c := range codes {
+		d.syms = append(d.syms, c.sym)
+		cl := uint(c.len)
+		if cl <= tableBits {
+			entry := uint64(c.sym)<<8 | uint64(c.len)
+			lo := c.code << (tableBits - cl)
+			hi := lo + 1<<(tableBits-cl)
+			for j := lo; j < hi; j++ {
+				d.lut[j] = entry
+			}
+			continue
+		}
+		if d.count[cl] == 0 {
+			d.first[cl] = c.code
+			d.base[cl] = int32(i)
+		}
+		d.count[cl]++
+		d.lut[c.code>>(cl-tableBits)] = lutLong
+	}
+	return tableBits, maxLen
 }

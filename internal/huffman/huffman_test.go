@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/bitio"
 )
 
 func roundTrip(t *testing.T, syms []uint32) {
@@ -104,6 +106,210 @@ func TestDecodeCorrupt(t *testing.T) {
 	}
 	if _, err := Decode(nil); err == nil {
 		t.Fatal("Decode(nil) should error")
+	}
+}
+
+// kraftSum returns Σ 2^(maxCodeLen - len) over the codebook, scaled so a
+// complete prefix-free code sums to exactly 1<<maxCodeLen.
+func kraftSum(codes []symCode) uint64 {
+	var k uint64
+	for _, c := range codes {
+		k += (uint64(1) << maxCodeLen) >> c.len
+	}
+	return k
+}
+
+// assertPrefixFree verifies no canonical code is a prefix of another.
+func assertPrefixFree(t *testing.T, codes []symCode) {
+	t.Helper()
+	for i := range codes {
+		if codes[i].code >= 1<<codes[i].len {
+			t.Fatalf("code %d: %b overflows its length %d", i, codes[i].code, codes[i].len)
+		}
+		for j := i + 1; j < len(codes); j++ {
+			a, b := codes[i], codes[j]
+			if a.len > b.len {
+				a, b = b, a
+			}
+			if b.code>>(b.len-a.len) == a.code {
+				t.Fatalf("code %b/%d is a prefix of %b/%d", a.code, a.len, b.code, b.len)
+			}
+		}
+	}
+}
+
+// TestLimitLengthsAdversarial feeds the tree builder a Fibonacci frequency
+// ladder — the classic worst case, driving raw Huffman depths far past
+// maxCodeLen — and checks the redistributed lengths are limited, Kraft-
+// valid and prefix-free. The old implementation clamped depths in place,
+// which broke prefix-freeness exactly here.
+func TestLimitLengthsAdversarial(t *testing.T) {
+	sf := make([]symFreq, 90)
+	a, b := uint64(1), uint64(1)
+	for i := range sf {
+		sf[i] = symFreq{sym: uint32(i), freq: a}
+		a, b = b, a+b
+	}
+	var tb treeBuilder
+	raw := tb.codeLengths(nil, sf)
+	deep := false
+	for _, c := range raw {
+		if c.len > maxCodeLen {
+			deep = true
+		}
+	}
+	if !deep {
+		t.Fatal("adversarial distribution did not exceed maxCodeLen; test is vacuous")
+	}
+	limitLengths(raw)
+	for _, c := range raw {
+		if c.len == 0 || c.len > maxCodeLen {
+			t.Fatalf("symbol %d: length %d outside [1,%d]", c.sym, c.len, maxCodeLen)
+		}
+	}
+	if k := kraftSum(raw); k > 1<<maxCodeLen {
+		t.Fatalf("limited lengths over-subscribed: kraft %d > %d", k, uint64(1)<<maxCodeLen)
+	}
+	assertPrefixFree(t, canonicalize(raw))
+}
+
+// TestCodeLengthsOrderInvariant checks the tree build is a pure function
+// of the frequency multiset: the dense path feeds symbols in ascending
+// order and the map fallback in random order, and both must produce the
+// same codebook (this is what keeps payloads byte-identical).
+func TestCodeLengthsOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sf := make([]symFreq, 257)
+	for i := range sf {
+		sf[i] = symFreq{sym: uint32(i * 3), freq: uint64(rng.Intn(50) + 1)}
+	}
+	var tb treeBuilder
+	ref := canonicalize(tb.codeLengths(nil, sf))
+	for trial := 0; trial < 5; trial++ {
+		rng.Shuffle(len(sf), func(i, j int) { sf[i], sf[j] = sf[j], sf[i] })
+		got := canonicalize(tb.codeLengths(nil, sf))
+		if len(got) != len(ref) {
+			t.Fatalf("trial %d: %d codes, want %d", trial, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d code %d: %+v != %+v", trial, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestLongCodesOverflowPath round-trips a stream whose codebook is deeper
+// than the primary decode table, so symbols resolve through the canonical
+// first-code overflow path as well as the LUT.
+func TestLongCodesOverflowPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var syms []uint32
+	// Zipf-ish: a few very hot symbols (short codes) plus a long tail of
+	// thousands of rare ones (codes well past TableBits bits).
+	for i := 0; i < 60000; i++ {
+		syms = append(syms, uint32(rng.Intn(8)))
+	}
+	for i := 0; i < 10000; i++ {
+		syms = append(syms, uint32(8+rng.Intn(12000)))
+	}
+	rng.Shuffle(len(syms), func(i, j int) { syms[i], syms[j] = syms[j], syms[i] })
+
+	var e Encoder
+	blob := e.AppendEncode(nil, syms)
+	maxLen := e.codes[len(e.codes)-1].len
+	if maxLen <= TableBits {
+		t.Fatalf("max code length %d does not exceed TableBits=%d; test is vacuous", maxLen, TableBits)
+	}
+	roundTrip(t, syms)
+	var d Decoder
+	got, err := d.AppendDecode(nil, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range syms {
+		if got[i] != syms[i] {
+			t.Fatalf("symbol %d: got %d, want %d", i, got[i], syms[i])
+		}
+	}
+}
+
+// TestDecoderReuse interleaves decodes of different codebooks (shallow,
+// deep, single-symbol) through one pooled Decoder: stale tables from a
+// previous call must never leak into the next.
+func TestDecoderReuse(t *testing.T) {
+	streams := [][]uint32{
+		{5, 5, 5, 5},
+		{1, 2, 3, 1, 2, 1},
+		nil,
+		{70000, 1, 70000, 2, 1 << 30},
+	}
+	rng := rand.New(rand.NewSource(13))
+	wide := make([]uint32, 30000)
+	for i := range wide {
+		wide[i] = uint32(rng.Intn(9000))
+	}
+	streams = append(streams, wide)
+
+	blobs := make([][]byte, len(streams))
+	for i, s := range streams {
+		blobs[i] = Encode(s)
+	}
+	var d Decoder
+	var out []uint32
+	for round := 0; round < 3; round++ {
+		for i, s := range streams {
+			var err error
+			out, err = d.AppendDecode(out[:0], blobs[i])
+			if err != nil {
+				t.Fatalf("round %d stream %d: %v", round, i, err)
+			}
+			if len(out) != len(s) {
+				t.Fatalf("round %d stream %d: %d symbols, want %d", round, i, len(out), len(s))
+			}
+			for j := range s {
+				if out[j] != s[j] {
+					t.Fatalf("round %d stream %d symbol %d: got %d, want %d", round, i, j, out[j], s[j])
+				}
+			}
+		}
+	}
+}
+
+// corruptBlob assembles a syntactically framed blob from a hand-built
+// codebook: pairs are (deltaSym, len) varints, body is raw bit-stream
+// bytes.
+func corruptBlob(nsyms uint64, pairs [][2]uint64, body []byte) []byte {
+	var hdr []byte
+	hdr = bitio.AppendUvarint(hdr, nsyms)
+	hdr = bitio.AppendUvarint(hdr, uint64(len(pairs)))
+	for _, p := range pairs {
+		hdr = bitio.AppendUvarint(hdr, p[0])
+		hdr = bitio.AppendUvarint(hdr, p[1])
+	}
+	blob := bitio.AppendBytes(nil, hdr)
+	return append(blob, body...)
+}
+
+// TestMalformedCodebooks pins the decoder's rejection of structurally
+// invalid codebooks: over-subscribed length sets (which would break the
+// table build), duplicate symbols, symbol overflow, and over-long codes.
+func TestMalformedCodebooks(t *testing.T) {
+	cases := []struct {
+		name string
+		blob []byte
+	}{
+		{"over-subscribed", corruptBlob(4, [][2]uint64{{0, 1}, {1, 1}, {1, 1}}, []byte{0xaa})},
+		{"duplicate symbol", corruptBlob(4, [][2]uint64{{3, 2}, {0, 2}}, []byte{0xaa})},
+		{"symbol overflow", corruptBlob(4, [][2]uint64{{1 << 33, 2}}, []byte{0xaa})},
+		{"delta overflow", corruptBlob(4, [][2]uint64{{1 << 31, 2}, {1 << 31, 2}, {1 << 31, 3}}, []byte{0xaa})},
+		{"zero length", corruptBlob(4, [][2]uint64{{0, 0}}, []byte{0xaa})},
+		{"over-long length", corruptBlob(4, [][2]uint64{{0, 58}}, []byte{0xaa})},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.blob); err == nil {
+			t.Errorf("%s: Decode accepted a malformed codebook", c.name)
+		}
 	}
 }
 

@@ -295,11 +295,13 @@ func (p *DecoderPool[T]) Get() *Decoder[T] {
 func (p *DecoderPool[T]) Put(d *Decoder[T]) { p.p.Put(d) }
 
 // Decoder is the reusable decompression engine: it keeps the inflated
-// section buffers, decoded symbol stream and literal-offset scratch alive
-// across calls. The zero value is ready to use; a Decoder is not safe for
-// concurrent use (DecompressBlocksParallel fans out internally).
+// section buffers, decoded symbol stream, the Huffman decode tables and
+// literal-offset scratch alive across calls. The zero value is ready to
+// use; a Decoder is not safe for concurrent use (DecompressBlocksParallel
+// fans out internally).
 type Decoder[T grid.Float] struct {
 	codes   []uint32
+	huff    huffman.Decoder
 	huffBuf []byte
 	litBuf  []byte
 	litOff  []int
@@ -310,13 +312,14 @@ func NewDecoder[T grid.Float]() *Decoder[T] { return &Decoder[T]{} }
 
 // unseal parses a payload into the decoder's scratch and returns the
 // header, code stream and literal pool. The returned slices alias the
-// decoder and are valid until the next call.
+// decoder and are valid until the next call. A negative wantKind accepts
+// any payload kind.
 func (d *Decoder[T]) unseal(blob []byte, wantKind int) (header, []uint32, []byte, error) {
 	h, blob, err := parseHeader(blob)
 	if err != nil {
 		return h, nil, nil, err
 	}
-	if h.kind != wantKind {
+	if wantKind >= 0 && h.kind != wantKind {
 		return h, nil, nil, fmt.Errorf("sz: payload kind %d, want %d", h.kind, wantKind)
 	}
 
@@ -339,7 +342,7 @@ func (d *Decoder[T]) unseal(blob []byte, wantKind int) (header, []uint32, []byte
 		}
 		d.litBuf = lits[:0]
 	}
-	codes, err := huffman.AppendDecode(d.codes[:0], huff)
+	codes, err := d.huff.AppendDecode(d.codes[:0], huff)
 	if err != nil {
 		return h, nil, nil, err
 	}
@@ -348,6 +351,21 @@ func (d *Decoder[T]) unseal(blob []byte, wantKind int) (header, []uint32, []byte
 		return h, nil, nil, fmt.Errorf("sz: %d codes for %d values", len(codes), h.n)
 	}
 	return h, codes, lits, nil
+}
+
+// ExtractCodes runs only the entropy stage of any payload kind: section
+// split, inflate, and Huffman decode of the quantization-code stream,
+// skipping Lorenzo reconstruction entirely. Analysis tooling uses it to
+// inspect code distributions, and the entropy benchmarks use it to obtain
+// the exact symbol stream a payload carries. The returned slice is freshly
+// allocated and owned by the caller.
+func ExtractCodes(blob []byte) ([]uint32, error) {
+	var d Decoder[float32] // element type is irrelevant to the code stream
+	_, codes, _, err := d.unseal(blob, -1)
+	if err != nil {
+		return nil, err
+	}
+	return codes, nil
 }
 
 // Decompress1D is Decompress1D reusing the decoder's scratch.

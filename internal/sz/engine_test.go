@@ -223,6 +223,38 @@ func TestPoolConcurrentReuse(t *testing.T) {
 	}
 }
 
+// TestExtractCodes checks the entropy-stage-only decode: every payload
+// kind yields exactly one quantization code per value, with literal
+// markers (code 0) matching the reported literal count.
+func TestExtractCodes(t *testing.T) {
+	blocks := testBlocks(6, 6, 3)
+	for _, disable := range []bool{false, true} {
+		blob, st, err := CompressBlocks(blocks, Options{ErrorBound: 0.05, DisableLossless: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes, err := ExtractCodes(blob)
+		if err != nil {
+			t.Fatalf("ExtractCodes(lossless=%v): %v", !disable, err)
+		}
+		if len(codes) != st.N {
+			t.Fatalf("lossless=%v: %d codes for %d values", !disable, len(codes), st.N)
+		}
+		zeros := 0
+		for _, c := range codes {
+			if c == 0 {
+				zeros++
+			}
+		}
+		if zeros != st.Literals {
+			t.Fatalf("lossless=%v: %d literal markers, stats say %d", !disable, zeros, st.Literals)
+		}
+	}
+	if _, err := ExtractCodes([]byte("not a payload")); err == nil {
+		t.Fatal("ExtractCodes accepted garbage")
+	}
+}
+
 // TestCheckedCount pins the overflow guard on header-supplied geometry.
 func TestCheckedCount(t *testing.T) {
 	cases := []struct {
