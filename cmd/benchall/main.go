@@ -31,6 +31,7 @@ type report struct {
 	Archive    experiments.ArchiveBenchResult `json:"archive"`
 	Engine     experiments.EngineBenchResult  `json:"engine"`
 	Entropy    experiments.EntropyBenchResult `json:"entropy"`
+	Predict    experiments.PredictBenchResult `json:"predict"`
 	TotalSecs  float64                        `json:"total_seconds"`
 }
 
@@ -86,6 +87,11 @@ func main() {
 			log.Fatalf("entropy bench: %v", err)
 		}
 		rep.Entropy = ent
+		pred, err := experiments.PredictBench(env)
+		if err != nil {
+			log.Fatalf("predict bench: %v", err)
+		}
+		rep.Predict = pred
 		rep.TotalSecs = time.Since(start).Seconds()
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -102,6 +108,8 @@ func main() {
 			eng.DecompressSerialMBps, eng.DecompressParallelMBps, eng.DecompressSpeedup)
 		fmt.Printf("[entropy: %d codes (%d distinct), huffman encode %.1f MB/s, decode %.1f MB/s]\n",
 			ent.Symbols, ent.DistinctSymbols, ent.EncodeMBps, ent.DecodeMBps)
+		fmt.Printf("[predict: %d cells, lorenzo encode %.1f MB/s, decode %.1f MB/s]\n",
+			pred.Cells, pred.EncodeMBps, pred.DecodeMBps)
 	}
 	fmt.Printf("\n[benchall completed in %v at scale 1/%d]\n", time.Since(start).Round(time.Second), *scale)
 }

@@ -3,6 +3,8 @@
 //
 // Usage:
 //
+//	tacc [-cpuprofile cpu.pprof] [-memprofile mem.pprof] <subcommand> ...
+//
 //	tacc compress   [-codec TAC] [-eb 1e9] [-rel] [-scales 3,1] [-adaptive] in.amr out.tacz
 //	tacc decompress in.tacz out.amr
 //	tacc info       in.amr
@@ -10,6 +12,13 @@
 //	tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] out.taca in.amr...
 //	tacc ls         in.taca
 //	tacc extract    [-member 0] [-level -1] [-roi x0:x1,y0:y1,z0:z1] in.taca out.amr
+//
+// The global -cpuprofile/-memprofile flags write runtime/pprof profiles
+// of whatever subcommand follows, so perf work can profile the real
+// pipeline on real files instead of guessing from microbenchmarks:
+//
+//	tacc -cpuprofile cpu.pprof compress -eb 1e9 in.amr out.tacz
+//	go tool pprof cpu.pprof
 package main
 
 import (
@@ -17,6 +26,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -35,33 +46,75 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tacc: ")
-	if len(os.Args) < 2 {
+	global := flag.NewFlagSet("tacc", flag.ExitOnError)
+	global.Usage = usageExit
+	cpuprofile := global.String("cpuprofile", "", "write a CPU profile of the subcommand to this file")
+	memprofile := global.String("memprofile", "", "write a heap profile (taken after the subcommand) to this file")
+	// Parse stops at the first non-flag argument — the subcommand.
+	if err := global.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	args := global.Args()
+	if len(args) < 1 {
 		usage()
 	}
-	switch os.Args[1] {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		// Subcommands exit through log.Fatal on errors, so the profile is
+		// only complete for successful runs — the case profiling targets.
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	run(args[0], args[1:])
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func run(cmd string, args []string) {
+	switch cmd {
 	case "compress":
-		compress(os.Args[2:])
+		compress(args)
 	case "decompress":
-		decompress(os.Args[2:])
+		decompress(args)
 	case "info":
-		info(os.Args[2:])
+		info(args)
 	case "verify":
-		verify(os.Args[2:])
+		verify(args)
 	case "errmap":
-		errmap(os.Args[2:])
+		errmap(args)
 	case "archive":
-		archiveCmd(os.Args[2:])
+		archiveCmd(args)
 	case "ls":
-		lsCmd(os.Args[2:])
+		lsCmd(args)
 	case "extract":
-		extractCmd(os.Args[2:])
+		extractCmd(args)
 	default:
 		usage()
 	}
 }
 
+// usageExit adapts usage to flag.FlagSet's Usage hook.
+func usageExit() { usage() }
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
+	fmt.Fprintln(os.Stderr, `usage: tacc [-cpuprofile cpu.pprof] [-memprofile mem.pprof] <subcommand> ...
   tacc compress   [-codec TAC|1D|zMesh|3D] [-eb 1e9] [-rel] [-scales 3,1] [-adaptive] in.amr out.tacz
   tacc decompress in.tacz out.amr
   tacc info       in.amr

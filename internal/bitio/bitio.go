@@ -11,7 +11,6 @@ package bitio
 import (
 	"encoding/binary"
 	"errors"
-	"fmt"
 )
 
 // Writer accumulates bits most-significant-first into a byte buffer.
@@ -31,21 +30,37 @@ func (w *Writer) Reset(dst []byte) { w.buf, w.acc, w.nbit = dst, 0, 0 }
 
 // WriteBits appends the low n bits of v, most significant first. n must be
 // in [0, 57] so a single write can never spill more than one word.
+//
+// The body is split so the all-accumulator fast path stays within the
+// compiler's inlining budget (constant-string panic, word flushes
+// outlined): the per-symbol cost on the entropy hot path is then a mask,
+// a shift and an add with no call.
 func (w *Writer) WriteBits(v uint64, n uint) {
-	if n == 0 {
+	if free := 64 - w.nbit; n < free && n <= 57 {
+		// The double shift self-masks v to its low n bits and lands them
+		// just below the pending bits (a shift by 64 yields 0, so n == 0
+		// writes nothing).
+		w.acc |= v << (64 - n) >> (64 - free)
+		w.nbit += n
 		return
 	}
+	w.writeBitsSpill(v, n)
+}
+
+// writeBitsSpill handles the WriteBits cases that leave the fast path:
+// out-of-range widths (the deterministic panic lives here so the fast
+// path stays inlinable) and writes that emit a word — the accumulator
+// filling exactly, or the value straddling two words. n is nonzero here:
+// the accumulator always has at least one free bit, so a zero-width write
+// never leaves the fast path.
+func (w *Writer) writeBitsSpill(v uint64, n uint) {
 	if n > 57 {
-		panic(fmt.Sprintf("bitio: WriteBits n=%d out of range", n))
+		panic(panicBitRange)
 	}
 	v &= 1<<n - 1
-	if free := 64 - w.nbit; n <= free {
-		w.acc |= v << (free - n)
-		w.nbit += n
-		if w.nbit == 64 {
-			w.buf = binary.BigEndian.AppendUint64(w.buf, w.acc)
-			w.acc, w.nbit = 0, 0
-		}
+	if free := 64 - w.nbit; n == free {
+		w.buf = binary.BigEndian.AppendUint64(w.buf, w.acc|v)
+		w.acc, w.nbit = 0, 0
 		return
 	}
 	// The word fills mid-value: emit it and start the next with the spill.
@@ -96,6 +111,11 @@ func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 // ErrUnexpectedEOF is returned when a read runs past the end of the buffer.
 var ErrUnexpectedEOF = errors.New("bitio: unexpected end of bit stream")
 
+// panicBitRange is the pre-boxed panic value for out-of-range bit counts;
+// a predeclared any keeps the guard cheap enough for the hot-path methods
+// to stay inlinable (a string literal would add a conversion at each site).
+var panicBitRange any = "bitio: bit count out of range (max 57)"
+
 // refill tops the accumulator up to at least 57 valid bits (or to the end
 // of the stream). The common case absorbs a whole big-endian word in one
 // load; within eight bytes of the end it falls back to a short byte loop.
@@ -129,18 +149,28 @@ func (r *Reader) drain() {
 // ErrUnexpectedEOF and leaves the reader drained, so the leftover bits are
 // never handed out piecemeal by later, smaller reads.
 func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if r.nbit < n || n > 57 {
+		return r.readBitsSlow(n)
+	}
+	// A shift by 64 (n == 0) is defined to yield 0 in Go, so the
+	// zero-width read needs no special case.
+	v := r.acc >> (64 - n)
+	r.acc <<= n
+	r.nbit -= n
+	return v, nil
+}
+
+// readBitsSlow refills and retries a ReadBits that outran the accumulator
+// (and hosts the deterministic out-of-range panic, keeping ReadBits
+// itself inlinable).
+func (r *Reader) readBitsSlow(n uint) (uint64, error) {
 	if n > 57 {
-		panic(fmt.Sprintf("bitio: ReadBits n=%d out of range", n))
+		panic(panicBitRange)
 	}
-	if n == 0 {
-		return 0, nil
-	}
+	r.refill()
 	if r.nbit < n {
-		r.refill()
-		if r.nbit < n {
-			r.drain()
-			return 0, ErrUnexpectedEOF
-		}
+		r.drain()
+		return 0, ErrUnexpectedEOF
 	}
 	v := r.acc >> (64 - n)
 	r.acc <<= n
@@ -159,15 +189,19 @@ func (r *Reader) ReadBit() (bool, error) {
 // bits are zero; pair with Remaining to detect the true stream end. This
 // is the table-driven entropy decoder's lookup key.
 func (r *Reader) Peek(n uint) uint64 {
+	if r.nbit < n || n > 57 {
+		return r.peekSlow(n)
+	}
+	return r.acc >> (64 - n)
+}
+
+// peekSlow refills and retries a Peek that outran the accumulator (and
+// hosts the deterministic out-of-range panic).
+func (r *Reader) peekSlow(n uint) uint64 {
 	if n > 57 {
-		panic(fmt.Sprintf("bitio: Peek n=%d out of range", n))
+		panic(panicBitRange)
 	}
-	if n == 0 {
-		return 0
-	}
-	if r.nbit < n {
-		r.refill()
-	}
+	r.refill()
 	return r.acc >> (64 - n)
 }
 
@@ -175,15 +209,24 @@ func (r *Reader) Peek(n uint) uint64 {
 // many were used. Like ReadBits it returns ErrUnexpectedEOF and drains the
 // reader if fewer than n bits remain.
 func (r *Reader) Consume(n uint) error {
-	if n > 57 {
-		panic(fmt.Sprintf("bitio: Consume n=%d out of range", n))
+	if r.nbit < n || n > 57 {
+		return r.consumeSlow(n)
 	}
+	r.acc <<= n
+	r.nbit -= n
+	return nil
+}
+
+// consumeSlow refills and retries a Consume that outran the accumulator
+// (and hosts the deterministic out-of-range panic).
+func (r *Reader) consumeSlow(n uint) error {
+	if n > 57 {
+		panic(panicBitRange)
+	}
+	r.refill()
 	if r.nbit < n {
-		r.refill()
-		if r.nbit < n {
-			r.drain()
-			return ErrUnexpectedEOF
-		}
+		r.drain()
+		return ErrUnexpectedEOF
 	}
 	r.acc <<= n
 	r.nbit -= n

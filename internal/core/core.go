@@ -333,22 +333,20 @@ func decompressLevel(dec *sz.Decoder[amr.Value], l *amr.Level, sec []byte, worke
 		if err != nil {
 			return err
 		}
-		g, err := dec.Decompress3D(blob)
-		if err != nil {
+		// Decode straight into the level grid (every cell is overwritten;
+		// the dims check doubles as the old geometry validation) — the
+		// whole-level staging grid and its copy are gone.
+		if err := dec.Decompress3DInto(l.Grid, blob); err != nil {
 			return err
-		}
-		if g.Dim != l.Grid.Dim {
-			return fmt.Errorf("core: level grid %v, want %v", g.Dim, l.Grid.Dim)
 		}
 		if st == codec.GSP {
 			// The padding positions are implied by the mask, so padded
 			// cells are restored to exact zeros — the "saved padding
 			// information" of Algorithm 3 with no explicit metadata.
-			preprocess.ZeroUnmasked(g, l.Mask, l.UnitBlock)
+			preprocess.ZeroUnmasked(l.Grid, l.Mask, l.UnitBlock)
 		}
 		// ZF is the naive strawman of Sec. 3.1: it ships no knowledge of
 		// the empty regions, so their reconstructed near-zero noise stays.
-		copy(l.Grid.Data, g.Data)
 		return nil
 	case codec.NaST, codec.OpST, codec.AKD, codec.ClassicKD:
 		boxes, err := extract(st, l.Mask)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"time"
 
@@ -34,22 +35,36 @@ type EngineBenchResult struct {
 	DecompressSpeedup         float64 `json:"decompress_speedup"`
 }
 
-// measureLoop runs fn iters times and reports mean wall time and
-// allocation counters per op.
+// measureLoop runs fn iters times in four timed batches and reports the
+// per-op wall time of the fastest batch plus allocation counters averaged
+// over every iteration. The fastest batch estimates what the code costs
+// when co-tenants of a shared box aren't stealing the core — a mean over
+// all iterations measures the neighbours as much as the code, and on
+// this class of hardware the run-to-run spread of the mean exceeded the
+// effect size of a typical PR.
 func measureLoop(iters int, fn func() error) (nsPerOp, allocsPerOp, bytesPerOp float64, err error) {
+	const batches = 4
+	per := max(iters/batches, 1)
 	runtime.GC()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		if err = fn(); err != nil {
-			return 0, 0, 0, err
+	best := time.Duration(math.MaxInt64)
+	total := 0
+	for b := 0; b < batches; b++ {
+		start := time.Now()
+		for i := 0; i < per; i++ {
+			if err = fn(); err != nil {
+				return 0, 0, 0, err
+			}
 		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		total += per
 	}
-	elapsed := time.Since(start)
 	runtime.ReadMemStats(&m1)
-	n := float64(iters)
-	return float64(elapsed.Nanoseconds()) / n,
+	n := float64(total)
+	return float64(best.Nanoseconds()) / float64(per),
 		float64(m1.Mallocs-m0.Mallocs) / n,
 		float64(m1.TotalAlloc-m0.TotalAlloc) / n,
 		nil
@@ -69,7 +84,9 @@ func EngineBench(env *Env) (EngineBenchResult, error) {
 	res.Workers = runtime.GOMAXPROCS(0)
 	cfg := codec.Config{ErrorBound: 1e9, Workers: -1}
 
-	const iters = 6
+	// Enough iterations to keep the MB/s figures stable on a shared box —
+	// at 6 the run-to-run spread was wider than a typical PR's effect.
+	const iters = 16
 	eng := core.NewEngine(0)
 	var blob []byte
 	if blob, err = eng.Compress(ds, cfg); err != nil { // warm the scratch

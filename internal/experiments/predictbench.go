@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/amr"
+	"repro/internal/sim"
+	"repro/internal/sz"
+)
+
+// PredictBenchResult is the machine-readable record of the Lorenzo
+// prediction/quantization stage in isolation — no entropy or DEFLATE
+// stage — on the real Run1_Z10 finest-level grid, tracking the
+// boundary-peeled branch-free kernels across PRs. Throughput is over the
+// grid's in-memory size (4 bytes per float32 cell), the same accounting
+// the entropy section uses.
+type PredictBenchResult struct {
+	Dataset       string  `json:"dataset"`
+	Cells         int     `json:"cells"`
+	Literals      int     `json:"literals"`
+	EncodeNsPerOp float64 `json:"lorenzo_encode_ns_per_op"`
+	EncodeMBps    float64 `json:"lorenzo_encode_mb_per_s"`
+	DecodeNsPerOp float64 `json:"lorenzo_decode_ns_per_op"`
+	DecodeMBps    float64 `json:"lorenzo_decode_mb_per_s"`
+}
+
+// PredictBench isolates the predictor: it runs only the prediction and
+// quantization stage (Encoder.Predict3D) and its inverse
+// (Reconstruct3D) on the Run1_Z10 finest level, warm, with all scratch
+// pooled, so the numbers are the kernels alone.
+func PredictBench(env *Env) (PredictBenchResult, error) {
+	var res PredictBenchResult
+	ds, err := env.Dataset("Run1_Z10", sim.BaryonDensity)
+	if err != nil {
+		return res, err
+	}
+	res.Dataset = ds.Name
+	g := ds.Levels[0].Grid
+	res.Cells = g.Dim.Count()
+	opts := sz.Options{ErrorBound: 1e9}
+	streamBytes := amr.ValueBytes * res.Cells
+
+	enc := sz.NewEncoder[amr.Value]()
+	codes, lits, nlit, err := enc.Predict3D(g, opts) // warm the scratch
+	if err != nil {
+		return res, fmt.Errorf("predict bench encode: %w", err)
+	}
+	res.Literals = nlit
+
+	const iters = 16
+	res.EncodeNsPerOp, _, _, err = measureLoop(iters, func() error {
+		codes, lits, _, err = enc.Predict3D(g, opts)
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.EncodeMBps = float64(streamBytes) / 1e6 / (res.EncodeNsPerOp / 1e9)
+
+	out := g.Clone() // reused destination: decode overwrites every cell
+	if err := sz.Reconstruct3D(out, codes, lits, opts); err != nil {
+		return res, fmt.Errorf("predict bench decode: %w", err)
+	}
+	res.DecodeNsPerOp, _, _, err = measureLoop(iters, func() error {
+		return sz.Reconstruct3D(out, codes, lits, opts)
+	})
+	if err != nil {
+		return res, err
+	}
+	res.DecodeMBps = float64(streamBytes) / 1e6 / (res.DecodeNsPerOp / 1e9)
+	return res, nil
+}

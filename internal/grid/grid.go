@@ -74,6 +74,25 @@ func New[T Float](d Dims) *Grid3[T] {
 // NewCube allocates a zeroed n×n×n grid.
 func NewCube[T Float](n int) *Grid3[T] { return New[T](Dims{n, n, n}) }
 
+// NewBlocks allocates count zeroed grids of identical dims backed by one
+// data slab and one header array — three allocations total instead of
+// 2×count. Batch decoders use it: a batch of a thousand small unit blocks
+// would otherwise pay a thousand allocations (and their GC scan cost) per
+// payload. Each grid's Data is capacity-clipped to its own window, so
+// appends cannot bleed into a neighbor. The slab stays reachable while
+// any one block is.
+func NewBlocks[T Float](d Dims, count int) []*Grid3[T] {
+	per := d.Count()
+	slab := make([]T, per*count)
+	hdrs := make([]Grid3[T], count)
+	out := make([]*Grid3[T], count)
+	for i := range out {
+		hdrs[i] = Grid3[T]{Dim: d, Data: slab[i*per : (i+1)*per : (i+1)*per]}
+		out[i] = &hdrs[i]
+	}
+	return out
+}
+
 // FromSlice wraps an existing slice as a grid. The slice length must equal
 // d.Count(); FromSlice panics otherwise, since a silent mismatch would
 // corrupt every downstream index computation.

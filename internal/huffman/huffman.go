@@ -17,10 +17,12 @@
 package huffman
 
 import (
+	"cmp"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/bitio"
 )
@@ -236,13 +238,15 @@ type symCode struct {
 }
 
 // canonicalize assigns canonical codes in place: symbols sorted by
-// (length, symbol) receive consecutive codes.
+// (length, symbol) receive consecutive codes. The (length, symbol) keys
+// are unique, so any comparison sort yields the same order —
+// slices.SortFunc avoids the reflect-based swapping of sort.Slice.
 func canonicalize(codes []symCode) []symCode {
-	sort.Slice(codes, func(i, j int) bool {
-		if codes[i].len != codes[j].len {
-			return codes[i].len < codes[j].len
+	slices.SortFunc(codes, func(a, b symCode) int {
+		if a.len != b.len {
+			return int(a.len) - int(b.len)
 		}
-		return codes[i].sym < codes[j].sym
+		return cmp.Compare(a.sym, b.sym)
 	})
 	var code uint64
 	var prevLen uint8
@@ -262,7 +266,8 @@ func canonicalize(codes []symCode) []symCode {
 // to the package-level Encode.
 type Encoder struct {
 	freq    map[uint32]uint64 // sparse-alphabet frequency fallback
-	dense   []uint64          // dense frequencies, indexed by symbol
+	dense   []uint64          // dense frequencies, indexed by symbol (all-zero between calls)
+	touched []uint32          // symbols seen this call, for the sparse reset
 	sf      []symFreq         // (symbol, frequency) worklist
 	tb      treeBuilder
 	codes   []symCode // canonical codebook scratch
@@ -290,16 +295,26 @@ func (e *Encoder) AppendEncode(dst []byte, syms []uint32) []byte {
 		if cap(e.dense) < n {
 			e.dense = make([]uint64, n)
 		}
+		// The dense array holds the all-zero invariant between calls
+		// (restored sparsely below), so counting never pays a clear of
+		// the full symbol range — with QuantBits=16 that clear used to
+		// move 512 KiB per payload. Touched symbols are recorded on first
+		// increment and sorted, reproducing the increasing-symbol order
+		// the frequency-scan collection produced.
 		fr := e.dense[:n]
-		clear(fr)
+		touched := e.touched[:0]
 		for _, s := range syms {
+			if fr[s] == 0 {
+				touched = append(touched, s)
+			}
 			fr[s]++
 		}
-		for s, f := range fr {
-			if f != 0 {
-				sf = append(sf, symFreq{sym: uint32(s), freq: f})
-			}
+		slices.Sort(touched)
+		for _, s := range touched {
+			sf = append(sf, symFreq{sym: s, freq: fr[s]})
+			fr[s] = 0
 		}
+		e.touched = touched[:0]
 	} else if len(syms) > 0 {
 		if e.freq == nil {
 			e.freq = make(map[uint32]uint64)
@@ -327,7 +342,7 @@ func (e *Encoder) AppendEncode(dst []byte, syms []uint32) []byte {
 	hdr = bitio.AppendUvarint(hdr, uint64(len(syms)))
 	hdr = bitio.AppendUvarint(hdr, uint64(len(codes)))
 	bySym := append(e.bySym[:0], codes...)
-	sort.Slice(bySym, func(i, j int) bool { return bySym[i].sym < bySym[j].sym })
+	slices.SortFunc(bySym, func(a, b symCode) int { return cmp.Compare(a.sym, b.sym) })
 	e.bySym = bySym
 	prev := uint32(0)
 	for _, c := range bySym {
@@ -353,9 +368,22 @@ func (e *Encoder) AppendEncode(dst []byte, syms []uint32) []byte {
 			encLen[c.sym] = c.len
 			encCode[c.sym] = c.code
 		}
+		// Pack whole runs of symbols into a local accumulator and hand
+		// bitio one wide write per ~57 bits: typical quantization streams
+		// average a few bits per symbol, so this trades ~10 WriteBits
+		// calls for one. The emitted bit sequence is identical.
+		var acc uint64
+		var na uint
 		for _, s := range syms {
-			e.w.WriteBits(encCode[s], uint(encLen[s]))
+			l := uint(encLen[s])
+			if na+l > 57 {
+				e.w.WriteBits(acc, na)
+				acc, na = 0, 0
+			}
+			acc = acc<<l | encCode[s]
+			na += l
 		}
+		e.w.WriteBits(acc, na)
 	} else {
 		if e.table == nil {
 			e.table = make(map[uint32]symCode, len(codes))
@@ -397,15 +425,23 @@ func AppendDecode(dst []uint32, blob []byte) ([]uint32, error) {
 // entry is an unassigned (invalid) code.
 const lutLong = 0xff
 
+// lutPairFlag marks a primary entry that resolves two complete codes in
+// one probe (the len byte then holds the combined length; sym2 and the
+// first code's own length live in the parallel lutPair table). The
+// sym<<8 | len layout uses bits 0..39, so the flag sits at bit 40 — and
+// the uint32 cast of e>>8 drops it when extracting sym1.
+const lutPairFlag = uint64(1) << 40
+
 // Decoder holds the reusable decode-side scratch: the parsed codebook, the
 // primary lookup table and the canonical overflow tables, kept warm across
 // calls so steady-state decoding allocates only the output. The zero value
 // is ready to use; a Decoder is not safe for concurrent use — pool one per
 // goroutine (internal/sz's Decoder engines do exactly that).
 type Decoder struct {
-	codes []symCode
-	lut   []uint64 // 2^k entries, k = min(maxLen, TableBits)
-	syms  []uint32 // symbols in canonical order, for the overflow path
+	codes   []symCode
+	lut     []uint64 // 2^k entries, k = min(maxLen, TableBits)
+	lutPair []uint64 // sym2<<8 | len1 for entries with lutPairFlag
+	syms    []uint32 // symbols in canonical order, for the overflow path
 
 	// Canonical decode state for code lengths in (TableBits, maxCodeLen]:
 	// at length l, codes occupy [first[l], first[l]+count[l]) and map to
@@ -491,28 +527,101 @@ func (d *Decoder) AppendDecode(dst []uint32, blob []byte) ([]uint32, error) {
 	codes = canonicalize(codes)
 	tableBits, maxLen := d.build(codes)
 
-	r := bitio.NewReader(body)
+	// The symbol loop runs on a local bit-reader state — accumulator,
+	// valid-bit count and byte cursor — instead of a bitio.Reader, so the
+	// per-symbol cost is a table load and two shifts with no method-call
+	// or pointer traffic. The refill mirrors bitio.Reader.refill exactly
+	// (whole-word loads with the byte tail near the end; bits of acc
+	// beyond nbit mirror the bytes still at pos), and a code claiming
+	// more bits than the stream holds reports the same truncation error
+	// Consume used to.
 	out := dst[:0]
 	if cap(out) < int(nsyms) {
 		out = make([]uint32, 0, nsyms)
 	}
+	out = out[:nsyms]
 	lut := d.lut
-	for uint64(len(out)) < nsyms {
-		e := lut[r.Peek(tableBits)]
-		l := e & 0xff
+	lutPair := d.lutPair[:len(lut)]
+	// len(lut) is a power of two, so masking the probe index proves the
+	// accesses in bounds — without it the variable shift below defeats
+	// bounds-check elimination and every probe pays a checked branch.
+	mask := uint64(len(lut) - 1)
+	shift := 64 - tableBits
+	var (
+		acc  uint64
+		nbit uint
+		pos  int
+	)
+	for n := 0; n < int(nsyms); n++ {
+		// Refill only when the primary probe could run short: the bits of
+		// acc beyond nbit mirror the bytes still at pos, so the probe
+		// value is the same either way and a deep codebook (large maxLen)
+		// does not force a refill per symbol — short, frequent codes
+		// refill once per ~(64-tableBits) consumed bits. The overflow
+		// path refills again for its maxLen-bit view.
+		if nbit < tableBits {
+			if pos+8 <= len(body) {
+				acc |= binary.BigEndian.Uint64(body[pos:]) >> nbit
+				adv := (64 - nbit) >> 3
+				pos += int(adv)
+				nbit += adv * 8
+			} else {
+				for nbit <= 56 && pos < len(body) {
+					acc |= uint64(body[pos]) << (56 - nbit)
+					pos++
+					nbit += 8
+				}
+			}
+		}
+		idx := (acc >> shift) & mask
+		e := lut[idx]
+		l := uint(e & 0xff)
 		if l == 0 {
-			return nil, fmt.Errorf("huffman: invalid code at symbol %d", len(out))
+			return nil, fmt.Errorf("huffman: invalid code at symbol %d", n)
 		}
 		if l != lutLong {
-			if err := r.Consume(uint(l)); err != nil {
-				return nil, fmt.Errorf("huffman: bit stream truncated at symbol %d: %w", len(out), err)
+			if e&lutPairFlag != 0 && n+1 < int(nsyms) {
+				// Paired entry: two complete codes in one probe.
+				if l > nbit {
+					return nil, fmt.Errorf("huffman: bit stream truncated at symbol %d: %w", n, bitio.ErrUnexpectedEOF)
+				}
+				acc <<= l
+				nbit -= l
+				out[n] = uint32(e >> 8)
+				n++
+				out[n] = uint32(lutPair[idx&mask] >> 8)
+				continue
 			}
-			out = append(out, uint32(e>>8))
+			if e&lutPairFlag != 0 {
+				// The claimed symbol count ends between the pair: consume
+				// only the first code's own length.
+				l = uint(lutPair[idx&mask] & 0xff)
+			}
+			if l > nbit {
+				return nil, fmt.Errorf("huffman: bit stream truncated at symbol %d: %w", n, bitio.ErrUnexpectedEOF)
+			}
+			acc <<= l
+			nbit -= l
+			out[n] = uint32(e >> 8)
 			continue
 		}
 		// Overflow path: resolve codes longer than the primary table by
 		// canonical (first code, offset) comparison per length.
-		v := r.Peek(maxLen)
+		if nbit < maxLen {
+			if pos+8 <= len(body) {
+				acc |= binary.BigEndian.Uint64(body[pos:]) >> nbit
+				adv := (64 - nbit) >> 3
+				pos += int(adv)
+				nbit += adv * 8
+			} else {
+				for nbit <= 56 && pos < len(body) {
+					acc |= uint64(body[pos]) << (56 - nbit)
+					pos++
+					nbit += 8
+				}
+			}
+		}
+		v := acc >> (64 - maxLen)
 		matched := false
 		for cl := tableBits + 1; cl <= maxLen; cl++ {
 			cnt := d.count[cl]
@@ -527,15 +636,17 @@ func (d *Decoder) AppendDecode(dst []uint32, blob []byte) ([]uint32, error) {
 			if off >= uint64(cnt) {
 				continue
 			}
-			if err := r.Consume(cl); err != nil {
-				return nil, fmt.Errorf("huffman: bit stream truncated at symbol %d: %w", len(out), err)
+			if cl > nbit {
+				return nil, fmt.Errorf("huffman: bit stream truncated at symbol %d: %w", n, bitio.ErrUnexpectedEOF)
 			}
-			out = append(out, d.syms[int(d.base[cl])+int(off)])
+			acc <<= cl
+			nbit -= cl
+			out[n] = d.syms[int(d.base[cl])+int(off)]
 			matched = true
 			break
 		}
 		if !matched {
-			return nil, fmt.Errorf("huffman: invalid code at symbol %d", len(out))
+			return nil, fmt.Errorf("huffman: invalid code at symbol %d", n)
 		}
 	}
 	return out, nil
@@ -581,6 +692,37 @@ func (d *Decoder) build(codes []symCode) (tableBits uint, maxLen uint) {
 		}
 		d.count[cl]++
 		d.lut[c.code>>(cl-tableBits)] = lutLong
+	}
+
+	// Second pass: pair entries. Where the first code leaves enough index
+	// bits to fully determine a second complete code, the entry consumes
+	// both in one probe: quantization streams are dominated by one short
+	// code (values near the prediction), so most probes then emit two
+	// symbols. The paired entry keeps sym1 and the combined length and
+	// sets lutPairFlag; the parallel lutPair table carries sym2 and the
+	// first code's own length (needed when the claimed symbol count ends
+	// between the two).
+	if cap(d.lutPair) < size {
+		d.lutPair = make([]uint64, size)
+	}
+	d.lutPair = d.lutPair[:size]
+	for idx, e := range d.lut {
+		l1 := uint(e & 0xff)
+		if l1 == 0 || l1 == lutLong || l1 > tableBits {
+			continue
+		}
+		idx2 := (uint(idx) << l1) & uint(size-1)
+		e2 := d.lut[idx2]
+		l2 := uint(e2 & 0xff)
+		if e2&lutPairFlag != 0 {
+			// idx2 was already paired; recover its first code's own length.
+			l2 = uint(d.lutPair[idx2] & 0xff)
+		}
+		if l2 == 0 || l2 == lutLong || l1+l2 > tableBits {
+			continue
+		}
+		d.lutPair[idx] = uint64(uint32(e2>>8))<<8 | uint64(l1)
+		d.lut[idx] = (e &^ 0xff) | uint64(l1+l2) | lutPairFlag
 	}
 	return tableBits, maxLen
 }

@@ -48,6 +48,13 @@ var faces = [6][3]int{
 // g is modified in place. Empty blocks with no occupied neighbor stay zero.
 // Decompression simply discards padded blocks (the mask identifies them),
 // so GSP needs no metadata.
+//
+// Contributions to a cell only ever come from the faces of the one empty
+// block that owns it, so the sum/count accumulators are a ub³ scratch
+// reused across blocks rather than grid-wide maps (the map-keyed
+// accumulation used to dominate GSP's profile). Accumulation order per
+// cell — face order, then (u,v,layer) within a face — is unchanged, so
+// the padded values are bit-identical to the map implementation.
 func GSP[T grid.Float](g *grid.Grid3[T], mask *grid.Mask, unitBlock int, opts GSPOptions) {
 	opts = opts.withDefaults(unitBlock)
 	md := mask.Dim
@@ -61,8 +68,8 @@ func GSP[T grid.Float](g *grid.Grid3[T], mask *grid.Mask, unitBlock int, opts GS
 	}
 
 	// Accumulate contributions then divide, so overlap handling is exact.
-	sum := make(map[int]float64)
-	cnt := make(map[int]int)
+	sum := make([]float64, ub*ub*ub)
+	cnt := make([]uint8, ub*ub*ub)
 
 	for bx := 0; bx < md.X; bx++ {
 		for by := 0; by < md.Y; by++ {
@@ -70,26 +77,44 @@ func GSP[T grid.Float](g *grid.Grid3[T], mask *grid.Mask, unitBlock int, opts GS
 				if mask.At(bx, by, bz) {
 					continue
 				}
+				eb := blockRegion(bx, by, bz)
+				touched := false
 				for _, f := range faces {
 					nx, ny, nz := bx+f[0], by+f[1], bz+f[2]
 					if !md.Contains(nx, ny, nz) || !mask.At(nx, ny, nz) {
 						continue
 					}
-					padFromNeighbor(g, blockRegion(bx, by, bz), blockRegion(nx, ny, nz), f, opts, sum, cnt)
+					if !touched {
+						clear(sum)
+						clear(cnt)
+						touched = true
+					}
+					padFromNeighbor(g, eb, blockRegion(nx, ny, nz), f, opts, sum, cnt)
+				}
+				if !touched {
+					continue
+				}
+				// Write the block's padded cells back: scratch index
+				// (u,v,w) maps to block-local (x,y,z).
+				for i, c := range cnt {
+					if c == 0 {
+						continue
+					}
+					lz := i % ub
+					ly := (i / ub) % ub
+					lx := i / (ub * ub)
+					g.Data[g.Dim.Index(eb.X0+lx, eb.Y0+ly, eb.Z0+lz)] = T(sum[i] / float64(c))
 				}
 			}
 		}
-	}
-	for i, s := range sum {
-		g.Data[i] = T(s / float64(cnt[i]))
 	}
 }
 
 // padFromNeighbor accumulates the pad contribution of occupied block nb
 // into empty block eb across face direction f (from eb's perspective:
-// nb = eb + f).
-func padFromNeighbor[T grid.Float](g *grid.Grid3[T], eb, nb grid.Region, f [3]int, opts GSPOptions, sum map[int]float64, cnt map[int]int) {
-	d := g.Dim
+// nb = eb + f). sum and cnt are indexed block-locally:
+// ((x−eb.X0)·ub + (y−eb.Y0))·ub + (z−eb.Z0).
+func padFromNeighbor[T grid.Float](g *grid.Grid3[T], eb, nb grid.Region, f [3]int, opts GSPOptions, sum []float64, cnt []uint8) {
 	ubx := eb.X1 - eb.X0
 	// Walk the face plane; u,v are the two in-plane axes, w the normal.
 	axis := 0
@@ -134,31 +159,31 @@ func padFromNeighbor[T grid.Float](g *grid.Grid3[T], eb, nb grid.Region, f [3]in
 			}
 			pad := acc / float64(opts.AvgSlices)
 			for l := 0; l < opts.PadLayers; l++ {
-				var x, y, z int
+				var x, y, z int // block-local coordinates
 				switch axis {
 				case 0:
 					if dir > 0 {
-						x = eb.X1 - 1 - l
+						x = ubx - 1 - l
 					} else {
-						x = eb.X0 + l
+						x = l
 					}
-					y, z = eb.Y0+u, eb.Z0+v
+					y, z = u, v
 				case 1:
 					if dir > 0 {
-						y = eb.Y1 - 1 - l
+						y = ubx - 1 - l
 					} else {
-						y = eb.Y0 + l
+						y = l
 					}
-					x, z = eb.X0+u, eb.Z0+v
+					x, z = u, v
 				default:
 					if dir > 0 {
-						z = eb.Z1 - 1 - l
+						z = ubx - 1 - l
 					} else {
-						z = eb.Z0 + l
+						z = l
 					}
-					x, y = eb.X0+u, eb.Y0+v
+					x, y = u, v
 				}
-				i := d.Index(x, y, z)
+				i := (x*ubx+y)*ubx + z
 				sum[i] += pad
 				cnt[i]++
 			}

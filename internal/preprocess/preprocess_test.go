@@ -1,6 +1,7 @@
 package preprocess
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -226,6 +227,155 @@ func TestGSPPartialLayers(t *testing.T) {
 	}
 	if v := g.At(6, 0, 0); v != 0 { // beyond PadLayers
 		t.Fatalf("deep cell = %v, want 0", v)
+	}
+}
+
+// refGSP is the original map-accumulated GSP, kept verbatim as the
+// reference for TestGSPDenseScratchEquivalence: the block-local dense
+// scratch rewrite must pad bit-identically.
+func refGSP[T grid.Float](g *grid.Grid3[T], mask *grid.Mask, unitBlock int, opts GSPOptions) {
+	opts = opts.withDefaults(unitBlock)
+	md := mask.Dim
+	ub := unitBlock
+	blockRegion := func(bx, by, bz int) grid.Region {
+		return grid.Region{
+			X0: bx * ub, Y0: by * ub, Z0: bz * ub,
+			X1: (bx + 1) * ub, Y1: (by + 1) * ub, Z1: (bz + 1) * ub,
+		}
+	}
+	sum := make(map[int]float64)
+	cnt := make(map[int]int)
+	for bx := 0; bx < md.X; bx++ {
+		for by := 0; by < md.Y; by++ {
+			for bz := 0; bz < md.Z; bz++ {
+				if mask.At(bx, by, bz) {
+					continue
+				}
+				for _, f := range faces {
+					nx, ny, nz := bx+f[0], by+f[1], bz+f[2]
+					if !md.Contains(nx, ny, nz) || !mask.At(nx, ny, nz) {
+						continue
+					}
+					eb, nb := blockRegion(bx, by, bz), blockRegion(nx, ny, nz)
+					refPadFromNeighbor(g, eb, nb, f, opts, sum, cnt)
+				}
+			}
+		}
+	}
+	for i, s := range sum {
+		g.Data[i] = T(s / float64(cnt[i]))
+	}
+}
+
+func refPadFromNeighbor[T grid.Float](g *grid.Grid3[T], eb, nb grid.Region, f [3]int, opts GSPOptions, sum map[int]float64, cnt map[int]int) {
+	d := g.Dim
+	ubx := eb.X1 - eb.X0
+	axis := 0
+	if f[1] != 0 {
+		axis = 1
+	} else if f[2] != 0 {
+		axis = 2
+	}
+	dir := f[axis]
+	for u := 0; u < ubx; u++ {
+		for v := 0; v < ubx; v++ {
+			var acc float64
+			for s := 0; s < opts.AvgSlices; s++ {
+				var x, y, z int
+				switch axis {
+				case 0:
+					if dir > 0 {
+						x = nb.X0 + s
+					} else {
+						x = nb.X1 - 1 - s
+					}
+					y, z = eb.Y0+u, eb.Z0+v
+				case 1:
+					if dir > 0 {
+						y = nb.Y0 + s
+					} else {
+						y = nb.Y1 - 1 - s
+					}
+					x, z = eb.X0+u, eb.Z0+v
+				default:
+					if dir > 0 {
+						z = nb.Z0 + s
+					} else {
+						z = nb.Z1 - 1 - s
+					}
+					x, y = eb.X0+u, eb.Y0+v
+				}
+				acc += float64(g.At(x, y, z))
+			}
+			pad := acc / float64(opts.AvgSlices)
+			for l := 0; l < opts.PadLayers; l++ {
+				var x, y, z int
+				switch axis {
+				case 0:
+					if dir > 0 {
+						x = eb.X1 - 1 - l
+					} else {
+						x = eb.X0 + l
+					}
+					y, z = eb.Y0+u, eb.Z0+v
+				case 1:
+					if dir > 0 {
+						y = eb.Y1 - 1 - l
+					} else {
+						y = eb.Y0 + l
+					}
+					x, z = eb.X0+u, eb.Z0+v
+				default:
+					if dir > 0 {
+						z = eb.Z1 - 1 - l
+					} else {
+						z = eb.Z0 + l
+					}
+					x, y = eb.X0+u, eb.Y0+v
+				}
+				i := d.Index(x, y, z)
+				sum[i] += pad
+				cnt[i]++
+			}
+		}
+	}
+}
+
+// TestGSPDenseScratchEquivalence property-tests the dense-scratch GSP
+// against the retained map reference over random masks and option
+// combinations: every padded cell must match bit-for-bit.
+func TestGSPDenseScratchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		ub := []int{2, 4}[trial%2]
+		bd := grid.Dims{X: 2 + rng.Intn(3), Y: 2 + rng.Intn(3), Z: 2 + rng.Intn(3)}
+		d := bd.Scale(ub)
+		m := grid.NewMask(bd)
+		g := grid.New[float32](d)
+		for bx := 0; bx < bd.X; bx++ {
+			for by := 0; by < bd.Y; by++ {
+				for bz := 0; bz < bd.Z; bz++ {
+					m.Set(bx, by, bz, rng.Float64() < 0.5)
+				}
+			}
+		}
+		for i := range g.Data {
+			g.Data[i] = float32(rng.NormFloat64() * 100)
+		}
+		ZeroUnmasked(g, m, ub)
+		opts := GSPOptions{PadLayers: rng.Intn(ub + 1), AvgSlices: rng.Intn(ub + 1)}
+
+		want := g.Clone()
+		refGSP(want, m, ub, opts)
+		got := g.Clone()
+		GSP(got, m, ub, opts)
+		for i := range got.Data {
+			if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+				x, y, z := d.Coords(i)
+				t.Fatalf("trial %d (ub=%d opts=%+v): cell (%d,%d,%d) = %v, reference %v",
+					trial, ub, opts, x, y, z, got.Data[i], want.Data[i])
+			}
+		}
 	}
 }
 

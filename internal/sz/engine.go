@@ -119,23 +119,23 @@ type Encoder[T grid.Float] struct {
 // NewEncoder returns an empty Encoder; scratch grows on first use.
 func NewEncoder[T grid.Float]() *Encoder[T] { return &Encoder[T]{} }
 
-// reconGrid returns the pooled reconstruction scratch shaped as d, zeroed.
-func (e *Encoder[T]) reconGrid(d grid.Dims) *grid.Grid3[T] {
-	n := d.Count()
+// reconBuf returns the pooled reconstruction scratch, length n, zeroed.
+func (e *Encoder[T]) reconBuf(n int) []T {
 	if cap(e.recon) < n {
 		e.recon = make([]T, n)
 	}
 	r := e.recon[:n]
 	clear(r)
-	return grid.FromSlice(d, r)
+	return r
 }
 
-// newQuantizer builds a quantizer over the encoder's pooled buffers.
-func (e *Encoder[T]) newQuantizer(eb float64, quantBits int) *quantizer[T] {
-	q := newQuantizer[T](eb, quantBits)
-	q.codes = e.codes[:0]
-	q.lits = e.lits[:0]
-	return q
+// codesBuf returns the pooled code buffer presized to exactly n entries,
+// so the kernels write codes by index with no append growth.
+func (e *Encoder[T]) codesBuf(n int) []uint32 {
+	if cap(e.codes) < n {
+		e.codes = make([]uint32, n)
+	}
+	return e.codes[:n]
 }
 
 // Compress1D is Compress1D reusing the encoder's scratch.
@@ -145,16 +145,9 @@ func (e *Encoder[T]) Compress1D(values []T, opts Options) ([]byte, Stats, error)
 		return nil, Stats{}, err
 	}
 	eb := effectiveEB(values, opts)
-	q := e.newQuantizer(eb, opts.QuantBits)
-	var prev T
-	for i, v := range values {
-		pred := prev
-		if i == 0 {
-			pred = 0
-		}
-		prev = q.encode(v, pred)
-	}
-	return e.seal(kindRaw1D, nil, len(values), eb, opts, q)
+	codes := e.codesBuf(len(values))
+	lits, nlit := encodeStream1(values, codes, e.lits[:0], eb, quantRadius(opts.QuantBits))
+	return e.seal(kindRaw1D, nil, len(values), eb, opts, codes, lits, nlit)
 }
 
 // Compress3D is Compress3D reusing the encoder's scratch.
@@ -164,9 +157,10 @@ func (e *Encoder[T]) Compress3D(g *grid.Grid3[T], opts Options) ([]byte, Stats, 
 		return nil, Stats{}, err
 	}
 	eb := effectiveEB(g.Data, opts)
-	q := e.newQuantizer(eb, opts.QuantBits)
-	encodeLorenzo3(g, e.reconGrid(g.Dim), q)
-	return e.seal(kindGrid3D, []grid.Dims{g.Dim}, len(g.Data), eb, opts, q)
+	codes := e.codesBuf(len(g.Data))
+	recon := e.reconBuf(len(g.Data))
+	lits, nlit := encodeBlock3(g.Data, recon, g.Dim, codes, e.lits[:0], eb, quantRadius(opts.QuantBits))
+	return e.seal(kindGrid3D, []grid.Dims{g.Dim}, len(g.Data), eb, opts, codes, lits, nlit)
 }
 
 // CompressBlocks is CompressBlocks reusing the encoder's scratch.
@@ -179,14 +173,41 @@ func (e *Encoder[T]) CompressBlocks(blocks []*grid.Grid3[T], opts Options) ([]by
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	q := e.newQuantizer(eb, opts.QuantBits)
-	recon := e.reconGrid(d)
-	for _, b := range blocks {
-		clear(recon.Data)
-		encodeLorenzo3(b, recon, q)
+	per := d.Count()
+	radius := quantRadius(opts.QuantBits)
+	codes := e.codesBuf(total)
+	lits := e.lits[:0]
+	nlit := 0
+	// Blocks are mutually independent, so groups of four encode in lock
+	// step through the quad kernel — four overlapping dependency chains
+	// instead of one (see kernel_quad.go). Literals post-pass per block,
+	// in block order, preserving the pool layout exactly.
+	reconLen := per
+	if len(blocks) >= 4 {
+		reconLen = 4 * per
+	}
+	recon := e.reconBuf(reconLen)
+	i := 0
+	for ; i+4 <= len(blocks); i += 4 {
+		clear(recon)
+		encodeBlockQuad(
+			blocks[i].Data, blocks[i+1].Data, blocks[i+2].Data, blocks[i+3].Data,
+			recon[:per], recon[per:2*per], recon[2*per:3*per], recon[3*per:4*per], d,
+			codes[i*per:(i+1)*per], codes[(i+1)*per:(i+2)*per], codes[(i+2)*per:(i+3)*per], codes[(i+3)*per:(i+4)*per],
+			eb, radius)
+		for k := 0; k < 4; k++ {
+			lits, nlit = collectLits(codes[(i+k)*per:(i+k+1)*per], blocks[i+k].Data, lits, nlit)
+		}
+	}
+	for ; i < len(blocks); i++ {
+		rec := recon[:per]
+		clear(rec)
+		var k int
+		lits, k = encodeBlock3(blocks[i].Data, rec, d, codes[i*per:(i+1)*per], lits, eb, radius)
+		nlit += k
 	}
 	dims := []grid.Dims{d, {X: len(blocks)}} // block count rides in a dims record
-	return e.seal(kindBatch, dims, total, eb, opts, q)
+	return e.seal(kindBatch, dims, total, eb, opts, codes, lits, nlit)
 }
 
 // batchGeometry validates a block batch and resolves its shared shape,
@@ -213,11 +234,12 @@ func batchGeometry[T grid.Float](blocks []*grid.Grid3[T], opts Options) (grid.Di
 	return d, total, eb, nil
 }
 
-// seal assembles the final payload from the quantizer state, stashing the
-// grown scratch buffers back on the encoder for the next call.
-func (e *Encoder[T]) seal(kind int, dims []grid.Dims, n int, eb float64, opts Options, q *quantizer[T]) ([]byte, Stats, error) {
-	e.codes = q.codes[:0]
-	e.lits = q.lits[:0]
+// seal assembles the final payload from the code stream and literal pool,
+// stashing the grown scratch buffers back on the encoder for the next
+// call.
+func (e *Encoder[T]) seal(kind int, dims []grid.Dims, n int, eb float64, opts Options, codes []uint32, lits []byte, nlit int) ([]byte, Stats, error) {
+	e.codes = codes[:0]
+	e.lits = lits[:0]
 
 	var hdr [64]byte
 	h := hdr[:0]
@@ -239,9 +261,8 @@ func (e *Encoder[T]) seal(kind int, dims []grid.Dims, n int, eb float64, opts Op
 		h = bitio.AppendUvarint(h, uint64(d.Z))
 	}
 
-	huff := e.huff.AppendEncode(e.huffBuf[:0], q.codes)
+	huff := e.huff.AppendEncode(e.huffBuf[:0], codes)
 	e.huffBuf = huff[:0]
-	lits := q.lits
 	if !opts.DisableLossless {
 		var err error
 		defl := e.deflBuf[:0]
@@ -259,7 +280,7 @@ func (e *Encoder[T]) seal(kind int, dims []grid.Dims, n int, eb float64, opts Op
 	out = append(out, h...)
 	out = bitio.AppendBytes(out, huff)
 	out = bitio.AppendBytes(out, lits)
-	st := Stats{N: n, EffectiveEB: eb, Literals: q.nlit, CompressedLen: len(out), ElemBytes: literalSize[T]()}
+	st := Stats{N: n, EffectiveEB: eb, Literals: nlit, CompressedLen: len(out), ElemBytes: literalSize[T]()}
 	return out, st, nil
 }
 
@@ -374,48 +395,58 @@ func (d *Decoder[T]) Decompress1D(blob []byte) ([]T, error) {
 	if err != nil {
 		return nil, err
 	}
-	dq, err := newDequantizer[T](hdr, codes, lits)
-	if err != nil {
+	if err := checkLiterals[T](codes, lits); err != nil {
 		return nil, err
 	}
 	out := make([]T, hdr.n)
-	var prev T
-	for i := range out {
-		pred := prev
-		if i == 0 {
-			pred = 0
-		}
-		v, err := dq.decode(pred)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
-		prev = v
-	}
+	decodeStream1(out, codes, lits, 2*hdr.eb, quantRadius(hdr.quantBits))
 	return out, nil
 }
 
 // Decompress3D is Decompress3D reusing the decoder's scratch.
 func (d *Decoder[T]) Decompress3D(blob []byte) (*grid.Grid3[T], error) {
-	hdr, codes, lits, err := d.unseal(blob, kindGrid3D)
-	if err != nil {
-		return nil, err
-	}
-	if len(hdr.dims) != 1 {
-		return nil, fmt.Errorf("sz: 3D payload with %d dim records", len(hdr.dims))
-	}
-	if n, ok := checkedCount(hdr.dims[0]); !ok || n != hdr.n {
-		return nil, fmt.Errorf("sz: 3D dims %v do not cover %d values", hdr.dims[0], hdr.n)
-	}
-	dq, err := newDequantizer[T](hdr, codes, lits)
+	hdr, codes, lits, err := d.unseal3D(blob)
 	if err != nil {
 		return nil, err
 	}
 	out := grid.New[T](hdr.dims[0])
-	if err := decodeLorenzo3(out, dq); err != nil {
-		return nil, err
-	}
+	decodeBlock3(out.Data, out.Dim, codes, lits, 2*hdr.eb, quantRadius(hdr.quantBits))
 	return out, nil
+}
+
+// Decompress3DInto is Decompress3D decoding straight into out, whose dims
+// must match the payload — no output allocation, no copy. Every cell of
+// out is overwritten. Callers that already hold the destination grid (a
+// dataset skeleton's level, a pooled buffer) use it to skip a full
+// allocate-zero-copy cycle per grid.
+func (d *Decoder[T]) Decompress3DInto(out *grid.Grid3[T], blob []byte) error {
+	hdr, codes, lits, err := d.unseal3D(blob)
+	if err != nil {
+		return err
+	}
+	if out.Dim != hdr.dims[0] {
+		return fmt.Errorf("sz: destination dims %v, payload %v", out.Dim, hdr.dims[0])
+	}
+	decodeBlock3(out.Data, out.Dim, codes, lits, 2*hdr.eb, quantRadius(hdr.quantBits))
+	return nil
+}
+
+// unseal3D unseals and validates a kindGrid3D payload.
+func (d *Decoder[T]) unseal3D(blob []byte) (header, []uint32, []byte, error) {
+	hdr, codes, lits, err := d.unseal(blob, kindGrid3D)
+	if err != nil {
+		return hdr, nil, nil, err
+	}
+	if len(hdr.dims) != 1 {
+		return hdr, nil, nil, fmt.Errorf("sz: 3D payload with %d dim records", len(hdr.dims))
+	}
+	if n, ok := checkedCount(hdr.dims[0]); !ok || n != hdr.n {
+		return hdr, nil, nil, fmt.Errorf("sz: 3D dims %v do not cover %d values", hdr.dims[0], hdr.n)
+	}
+	if err := checkLiterals[T](codes, lits); err != nil {
+		return hdr, nil, nil, err
+	}
+	return hdr, codes, lits, nil
 }
 
 // DecompressBlocks is DecompressBlocks reusing the decoder's scratch.
@@ -428,17 +459,40 @@ func (d *Decoder[T]) DecompressBlocks(blob []byte) ([]*grid.Grid3[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	dq, err := newDequantizer[T](hdr, codes, lits)
-	if err != nil {
-		return nil, err
+	// One scan yields every block's literal-pool offset AND validates the
+	// pool size, so the kernels below run with no per-element checks and
+	// groups of four blocks can decode in lock step (see kernel_quad.go).
+	per := bd.Count()
+	litSize := literalSize[T]()
+	if cap(d.litOff) < count+1 {
+		d.litOff = make([]int, count+1)
 	}
-	out := make([]*grid.Grid3[T], count)
-	for i := range out {
-		g := grid.New[T](bd)
-		if err := decodeLorenzo3(g, dq); err != nil {
-			return nil, err
+	litOff := d.litOff[:count+1]
+	litOff[0] = 0
+	for i := 0; i < count; i++ {
+		zeros := 0
+		for _, c := range codes[i*per : (i+1)*per] {
+			if c == 0 {
+				zeros++
+			}
 		}
-		out[i] = g
+		litOff[i+1] = litOff[i] + zeros*litSize
+	}
+	if litOff[count] > len(lits) {
+		return nil, fmt.Errorf("sz: literal pool holds %d bytes, need %d", len(lits), litOff[count])
+	}
+	twoEB := 2 * hdr.eb
+	radius := quantRadius(hdr.quantBits)
+	out := grid.NewBlocks[T](bd, count)
+	i := 0
+	for ; i+4 <= count; i += 4 {
+		decodeBlockQuad(
+			out[i].Data, out[i+1].Data, out[i+2].Data, out[i+3].Data, bd,
+			codes[i*per:(i+1)*per], codes[(i+1)*per:(i+2)*per], codes[(i+2)*per:(i+3)*per], codes[(i+3)*per:(i+4)*per],
+			lits, litOff[i], litOff[i+1], litOff[i+2], litOff[i+3], twoEB, radius)
+	}
+	for ; i < count; i++ {
+		decodeBlock3(out[i].Data, bd, codes[i*per:(i+1)*per], lits[litOff[i]:litOff[i+1]], twoEB, radius)
 	}
 	return out, nil
 }

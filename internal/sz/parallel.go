@@ -18,9 +18,9 @@ import (
 // compressed format: payloads are bit-identical to the serial path.
 //
 // Each block of shape d emits exactly d.Count() quantization codes, so the
-// whole batch's code stream is pre-sized once and every worker appends into
-// its block's capacity-bounded sub-slice — the per-block streams land
-// spliced in place, with no post-hoc re-copy. Only the variable-length
+// whole batch's code stream is pre-sized once and every worker writes its
+// block's codes by index into its own sub-range — the per-block streams
+// land spliced in place, with no post-hoc re-copy. Only the variable-length
 // literal pools need one ordered copy into the final buffer.
 
 // blockMeta records where one block's literals landed in its worker's
@@ -43,8 +43,20 @@ func CompressBlocksParallel[T grid.Float](blocks []*grid.Grid3[T], opts Options,
 // CompressBlocksParallel is CompressBlocksParallel reusing the encoder's
 // scratch. The code stream is written directly into the encoder's pooled,
 // pre-sized buffer by all workers; per-worker reconstruction grids are the
-// only per-call allocations.
+// only per-call allocations. On a single-CPU process (GOMAXPROCS=1) any
+// worker count takes the serial path — the fan-out can only add overhead
+// there.
 func (e *Encoder[T]) CompressBlocksParallel(blocks []*grid.Grid3[T], opts Options, workers int) ([]byte, Stats, error) {
+	if workers <= 0 || workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return e.compressBlocksWorkers(blocks, opts, workers)
+}
+
+// compressBlocksWorkers is the fan-out implementation behind
+// CompressBlocksParallel with the worker count already resolved (tests
+// call it directly to exercise the parallel path on single-CPU hosts).
+func (e *Encoder[T]) compressBlocksWorkers(blocks []*grid.Grid3[T], opts Options, workers int) ([]byte, Stats, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, Stats{}, err
@@ -52,13 +64,10 @@ func (e *Encoder[T]) CompressBlocksParallel(blocks []*grid.Grid3[T], opts Option
 	if len(blocks) == 0 {
 		return nil, Stats{}, fmt.Errorf("sz: empty block batch")
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	if workers > len(blocks) {
 		workers = len(blocks)
 	}
-	if workers == 1 {
+	if workers <= 1 {
 		return e.CompressBlocks(blocks, opts)
 	}
 	d, total, eb, err := batchGeometry(blocks, opts)
@@ -66,12 +75,10 @@ func (e *Encoder[T]) CompressBlocksParallel(blocks []*grid.Grid3[T], opts Option
 		return nil, Stats{}, err
 	}
 	per := d.Count()
+	radius := quantRadius(opts.QuantBits)
 
 	// One pre-sized code buffer; worker i's block lands at [i*per,(i+1)*per).
-	if cap(e.codes) < total {
-		e.codes = make([]uint32, 0, total)
-	}
-	codes := e.codes[:total]
+	codes := e.codesBuf(total)
 	if cap(e.metas) < len(blocks) {
 		e.metas = make([]blockMeta, len(blocks))
 	}
@@ -84,21 +91,18 @@ func (e *Encoder[T]) CompressBlocksParallel(blocks []*grid.Grid3[T], opts Option
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			recon := grid.New[T](d)
+			recon := make([]T, per)
 			var arena []byte
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(blocks) {
 					break
 				}
-				clear(recon.Data)
-				q := newQuantizer[T](eb, opts.QuantBits)
-				q.codes = codes[i*per : i*per : (i+1)*per]
-				q.lits = arena
+				clear(recon)
 				start := len(arena)
-				encodeLorenzo3(blocks[i], recon, q)
-				arena = q.lits
-				metas[i] = blockMeta{worker: w, litOff: start, litLen: len(arena) - start, nlit: q.nlit}
+				var nlit int
+				arena, nlit = encodeBlock3(blocks[i].Data, recon, d, codes[i*per:(i+1)*per], arena, eb, radius)
+				metas[i] = blockMeta{worker: w, litOff: start, litLen: len(arena) - start, nlit: nlit}
 			}
 			arenas[w] = arena
 		}(w)
@@ -121,12 +125,8 @@ func (e *Encoder[T]) CompressBlocksParallel(blocks []*grid.Grid3[T], opts Option
 		lits = append(lits, arenas[m.worker][m.litOff:m.litOff+m.litLen]...)
 	}
 
-	merged := newQuantizer[T](eb, opts.QuantBits)
-	merged.codes = codes
-	merged.lits = lits
-	merged.nlit = nlit
 	dims := []grid.Dims{d, {X: len(blocks)}}
-	return e.seal(kindBatch, dims, total, eb, opts, merged)
+	return e.seal(kindBatch, dims, total, eb, opts, codes, lits, nlit)
 }
 
 // DecompressBlocksParallel inverts CompressBlocks/CompressBlocksParallel
@@ -140,8 +140,23 @@ func DecompressBlocksParallel[T grid.Float](blob []byte, workers int) ([]*grid.G
 }
 
 // DecompressBlocksParallel is DecompressBlocksParallel reusing the
-// decoder's scratch.
+// decoder's scratch. With a resolved worker count of 1 — explicitly, or
+// because the process has a single CPU — it takes the plain serial path,
+// skipping the literal-offset pre-scan the fan-out needs.
 func (dec *Decoder[T]) DecompressBlocksParallel(blob []byte, workers int) ([]*grid.Grid3[T], error) {
+	if workers <= 0 || workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return dec.decompressBlocksWorkers(blob, workers)
+}
+
+// decompressBlocksWorkers is the fan-out implementation behind
+// DecompressBlocksParallel with the worker count already resolved (tests
+// call it directly to exercise the parallel path on single-CPU hosts).
+func (dec *Decoder[T]) decompressBlocksWorkers(blob []byte, workers int) ([]*grid.Grid3[T], error) {
+	if workers <= 1 {
+		return dec.DecompressBlocks(blob)
+	}
 	hdr, codes, lits, err := dec.unseal(blob, kindBatch)
 	if err != nil {
 		return nil, err
@@ -150,14 +165,13 @@ func (dec *Decoder[T]) DecompressBlocksParallel(blob []byte, workers int) ([]*gr
 	if err != nil {
 		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	if workers > count {
 		workers = count
 	}
 	per := d.Count()
 	litSize := literalSize[T]()
+	twoEB := 2 * hdr.eb
+	radius := quantRadius(hdr.quantBits)
 
 	// Literal-pool offsets: block i's literals start after all literal
 	// markers (code 0) in earlier blocks. The per-block zero counts are
@@ -197,65 +211,31 @@ func (dec *Decoder[T]) DecompressBlocksParallel(blob []byte, workers int) ([]*gr
 	for i := 1; i <= count; i++ {
 		litOff[i] += litOff[i-1]
 	}
+	// The one up-front validation: every block's code segment has exact
+	// length per (batchGeometry), and the pool covers every literal
+	// marker, so the per-block kernels below run with no error paths.
 	if litOff[count] > len(lits) {
 		return nil, fmt.Errorf("sz: literal pool holds %d bytes, need %d", len(lits), litOff[count])
 	}
 
-	out := make([]*grid.Grid3[T], count)
-	if workers == 1 {
-		for i := range out {
-			g, err := decodeBlockAt[T](d, hdr, codes, lits, litOff, i, per)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = g
-		}
-		return out, nil
-	}
-	errs := make([]error, workers)
+	out := grid.NewBlocks[T](d, count)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= count {
 					return
 				}
-				g, err := decodeBlockAt[T](d, hdr, codes, lits, litOff, i, per)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				out[i] = g
+				decodeBlock3(out[i].Data, d, codes[i*per:(i+1)*per], lits[litOff[i]:litOff[i+1]], twoEB, radius)
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
 	return out, nil
-}
-
-// decodeBlockAt reconstructs block i of a batch from its code and literal
-// sub-ranges.
-func decodeBlockAt[T grid.Float](d grid.Dims, hdr header, codes []uint32, lits []byte, litOff []int, i, per int) (*grid.Grid3[T], error) {
-	dq := &dequantizer[T]{
-		twoEB:  2 * hdr.eb,
-		radius: int64(1) << (hdr.quantBits - 1),
-		codes:  codes[i*per : (i+1)*per],
-		lits:   lits[litOff[i]:litOff[i+1]],
-	}
-	g := grid.New[T](d)
-	if err := decodeLorenzo3(g, dq); err != nil {
-		return nil, err
-	}
-	return g, nil
 }
 
 // literalSize returns the byte width of one exact literal for T.

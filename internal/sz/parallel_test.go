@@ -140,6 +140,80 @@ func TestParallelRejectsEmptyAndMixed(t *testing.T) {
 	}
 }
 
+// TestWorkersFanOutMatchesSerial drives the internal fan-out
+// implementations directly: the public entry points cap workers at
+// GOMAXPROCS (a single-CPU host always takes the serial path), so this is
+// what keeps the goroutine paths exercised — including under -race —
+// regardless of the host's CPU count.
+func TestWorkersFanOutMatchesSerial(t *testing.T) {
+	blocks := randomBlocks(11, grid.Dims{X: 5, Y: 4, Z: 6}, 8)
+	for i, b := range blocks {
+		for j := range b.Data {
+			if (i+j)%17 == 0 {
+				b.Data[j] = 1e30 // literal markers cross worker boundaries
+			}
+		}
+	}
+	opts := Options{ErrorBound: 0.05}
+	ref, _, err := CompressBlocks(blocks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder[float32]()
+	dec := NewDecoder[float32]()
+	want, err := DecompressBlocks[float32](ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8, 64} {
+		blob, _, err := enc.compressBlocksWorkers(blocks, opts, w)
+		if err != nil {
+			t.Fatalf("compress workers=%d: %v", w, err)
+		}
+		if !bytes.Equal(ref, blob) {
+			t.Fatalf("compress workers=%d: payload differs from serial", w)
+		}
+		got, err := dec.decompressBlocksWorkers(blob, w)
+		if err != nil {
+			t.Fatalf("decompress workers=%d: %v", w, err)
+		}
+		for i := range want {
+			if grid.MaxAbsDiff(want[i], got[i]) != 0 {
+				t.Fatalf("decompress workers=%d: block %d differs from serial", w, i)
+			}
+		}
+	}
+}
+
+// TestParallelSingleWorkerTakesSerialPath pins the satellite fix: a
+// resolved worker count of 1 (explicit, or any count on a 1-CPU process)
+// must produce results identical to the serial entry points — the
+// implementations delegate rather than paying fan-out setup.
+func TestParallelSingleWorkerTakesSerialPath(t *testing.T) {
+	blocks := randomBlocks(5, grid.Dims{X: 4, Y: 4, Z: 4}, 9)
+	opts := Options{ErrorBound: 0.1}
+	ref, _, err := CompressBlocks(blocks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 0, -1} {
+		blob, _, err := CompressBlocksParallel(blocks, opts, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !bytes.Equal(ref, blob) {
+			t.Fatalf("workers=%d: payload differs from serial", w)
+		}
+		got, err := DecompressBlocksParallel[float32](blob, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != len(blocks) {
+			t.Fatalf("workers=%d: %d blocks out", w, len(got))
+		}
+	}
+}
+
 func TestParallelDecompressRejectsCorrupt(t *testing.T) {
 	blocks := randomBlocks(4, grid.Dims{X: 4, Y: 4, Z: 4}, 6)
 	blob, _, err := CompressBlocks(blocks, Options{ErrorBound: 0.1})

@@ -186,9 +186,12 @@ func relToAbs(rel, lo, hi float64) float64 {
 	return rel * r
 }
 
-// encodeLorenzo3 runs the 3D Lorenzo predictor over src, writing the
-// reconstruction into recon (same dims) and the codes into q.
-func encodeLorenzo3[T grid.Float](src, recon *grid.Grid3[T], q *quantizer[T]) {
+// encodeLorenzo3Ref is the retained scalar reference implementation of
+// the 3D Lorenzo encode: per-element branchy prediction through
+// lorenzoPred and append-grown codes through quantizer.encode. Production
+// paths run the boundary-peeled kernels in kernel.go; the equivalence
+// suite in kernel_test.go compares the two element-for-element.
+func encodeLorenzo3Ref[T grid.Float](src, recon *grid.Grid3[T], q *quantizer[T]) {
 	d := src.Dim
 	sy := d.Z
 	sx := d.Y * d.Z
@@ -204,8 +207,9 @@ func encodeLorenzo3[T grid.Float](src, recon *grid.Grid3[T], q *quantizer[T]) {
 	}
 }
 
-// decodeLorenzo3 reconstructs a grid from the dequantizer stream.
-func decodeLorenzo3[T grid.Float](out *grid.Grid3[T], dq *dequantizer[T]) error {
+// decodeLorenzo3Ref is the retained scalar reference decode (see
+// encodeLorenzo3Ref).
+func decodeLorenzo3Ref[T grid.Float](out *grid.Grid3[T], dq *dequantizer[T]) error {
 	d := out.Dim
 	sy := d.Z
 	sx := d.Y * d.Z
@@ -256,7 +260,9 @@ func lorenzoPred[T grid.Float](data []T, i, x, y, z, sx, sy int) T {
 }
 
 // quantizer turns (value, prediction) pairs into quantization codes plus a
-// literal pool, reconstructing each value as it goes.
+// literal pool, reconstructing each value as it goes. It is the retained
+// reference implementation of the quantization step; production paths run
+// the inlined qstep in kernel.go, which mirrors encode exactly.
 type quantizer[T grid.Float] struct {
 	eb     float64
 	twoEB  float64
@@ -296,7 +302,8 @@ func (q *quantizer[T]) encode(v, pred T) T {
 	return v
 }
 
-// dequantizer replays a code stream plus literal pool.
+// dequantizer replays a code stream plus literal pool (reference
+// implementation; production decode runs the pre-validated kernels).
 type dequantizer[T grid.Float] struct {
 	twoEB  float64
 	radius int64
@@ -381,11 +388,11 @@ type header struct {
 	dims      []grid.Dims
 }
 
-// seal assembles the final payload from the quantizer state (one-shot
-// entry point; the Encoder method is the implementation).
-func seal[T grid.Float](kind int, dims []grid.Dims, n int, eb float64, opts Options, q *quantizer[T]) ([]byte, Stats, error) {
+// seal assembles the final payload from a code stream and literal pool
+// (one-shot entry point; the Encoder method is the implementation).
+func seal[T grid.Float](kind int, dims []grid.Dims, n int, eb float64, opts Options, codes []uint32, lits []byte, nlit int) ([]byte, Stats, error) {
 	var e Encoder[T]
-	return e.seal(kind, dims, n, eb, opts, q)
+	return e.seal(kind, dims, n, eb, opts, codes, lits, nlit)
 }
 
 // parseHeader decodes the payload header and returns it plus the remaining

@@ -25,10 +25,10 @@ func Compress2D[T grid.Float](values []T, nx, ny int, opts Options) ([]byte, Sta
 		return nil, Stats{}, fmt.Errorf("sz: 2D geometry %d×%d does not cover %d values", nx, ny, len(values))
 	}
 	eb := effectiveEB(values, opts)
-	q := newQuantizer[T](eb, opts.QuantBits)
+	codes := make([]uint32, len(values))
 	recon := make([]T, len(values))
-	encodeLorenzo2(values, recon, nx, ny, q)
-	return seal(kindGrid2D, []grid.Dims{{X: nx, Y: ny, Z: 1}}, len(values), eb, opts, q)
+	lits, nlit := encodeBlock2(values, recon, nx, ny, codes, nil, eb, quantRadius(opts.QuantBits))
+	return seal[T](kindGrid2D, []grid.Dims{{X: nx, Y: ny, Z: 1}}, len(values), eb, opts, codes, lits, nlit)
 }
 
 // Decompress2D inverts Compress2D, returning the field and its dims.
@@ -44,18 +44,17 @@ func Decompress2D[T grid.Float](blob []byte) ([]T, int, int, error) {
 	if n, ok := checkedCount(grid.Dims{X: nx, Y: ny, Z: 1}); !ok || n != hdr.n {
 		return nil, 0, 0, fmt.Errorf("sz: 2D geometry %d×%d does not cover %d values", nx, ny, hdr.n)
 	}
-	dq, err := newDequantizer[T](hdr, codes, lits)
-	if err != nil {
+	if err := checkLiterals[T](codes, lits); err != nil {
 		return nil, 0, 0, err
 	}
 	out := make([]T, hdr.n)
-	if err := decodeLorenzo2(out, nx, ny, dq); err != nil {
-		return nil, 0, 0, err
-	}
+	decodeBlock2(out, nx, ny, codes, lits, 2*hdr.eb, quantRadius(hdr.quantBits))
 	return out, nx, ny, nil
 }
 
-func encodeLorenzo2[T grid.Float](src, recon []T, nx, ny int, q *quantizer[T]) {
+// encodeLorenzo2Ref is the retained scalar reference 2D encode (see
+// encodeLorenzo3Ref); production paths run encodeBlock2 in kernel.go.
+func encodeLorenzo2Ref[T grid.Float](src, recon []T, nx, ny int, q *quantizer[T]) {
 	for x := 0; x < nx; x++ {
 		for y := 0; y < ny; y++ {
 			i := x*ny + y
@@ -64,7 +63,8 @@ func encodeLorenzo2[T grid.Float](src, recon []T, nx, ny int, q *quantizer[T]) {
 	}
 }
 
-func decodeLorenzo2[T grid.Float](out []T, nx, ny int, dq *dequantizer[T]) error {
+// decodeLorenzo2Ref is the retained scalar reference 2D decode.
+func decodeLorenzo2Ref[T grid.Float](out []T, nx, ny int, dq *dequantizer[T]) error {
 	for x := 0; x < nx; x++ {
 		for y := 0; y < ny; y++ {
 			i := x*ny + y
@@ -106,21 +106,25 @@ func CompressSlices[T grid.Float](g *grid.Grid3[T], opts Options) ([]byte, Stats
 	fixed.Mode = Abs
 	fixed.ErrorBound = eb
 	d := g.Dim
-	q := newQuantizer[T](eb, opts.QuantBits)
-	slice := make([]T, d.X*d.Y)
-	recon := make([]T, d.X*d.Y)
+	per := d.X * d.Y
+	radius := quantRadius(opts.QuantBits)
+	codes := make([]uint32, d.Count())
+	slice := make([]T, per)
+	recon := make([]T, per)
+	var lits []byte
+	nlit := 0
 	for z := 0; z < d.Z; z++ {
 		for x := 0; x < d.X; x++ {
 			for y := 0; y < d.Y; y++ {
 				slice[x*d.Y+y] = g.At(x, y, z)
 			}
 		}
-		for i := range recon {
-			recon[i] = 0
-		}
-		encodeLorenzo2(slice, recon, d.X, d.Y, q)
+		clear(recon)
+		var k int
+		lits, k = encodeBlock2(slice, recon, d.X, d.Y, codes[z*per:(z+1)*per], lits, eb, radius)
+		nlit += k
 	}
-	return seal(kindBatch, []grid.Dims{{X: d.X, Y: d.Y, Z: 1}, {X: d.Z}}, d.Count(), eb, opts, q)
+	return seal[T](kindBatch, []grid.Dims{{X: d.X, Y: d.Y, Z: 1}, {X: d.Z}}, d.Count(), eb, opts, codes, lits, nlit)
 }
 
 // DecompressSlices inverts CompressSlices back into a 3D grid.
