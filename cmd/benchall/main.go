@@ -32,6 +32,7 @@ type report struct {
 	Engine     experiments.EngineBenchResult  `json:"engine"`
 	Entropy    experiments.EntropyBenchResult `json:"entropy"`
 	Predict    experiments.PredictBenchResult `json:"predict"`
+	Serve      experiments.ServeBenchResult   `json:"serve"`
 	TotalSecs  float64                        `json:"total_seconds"`
 }
 
@@ -92,6 +93,11 @@ func main() {
 			log.Fatalf("predict bench: %v", err)
 		}
 		rep.Predict = pred
+		srv, err := experiments.ServeBench(env)
+		if err != nil {
+			log.Fatalf("serve bench: %v", err)
+		}
+		rep.Serve = srv
 		rep.TotalSecs = time.Since(start).Seconds()
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -110,6 +116,8 @@ func main() {
 			ent.Symbols, ent.DistinctSymbols, ent.EncodeMBps, ent.DecodeMBps)
 		fmt.Printf("[predict: %d cells, lorenzo encode %.1f MB/s, decode %.1f MB/s]\n",
 			pred.Cells, pred.EncodeMBps, pred.DecodeMBps)
+		fmt.Printf("[serve: %d reqs x%d, %.0f req/s, %.1f MB/s served, cache hit ratio %.2f (%d decodes)]\n",
+			srv.Requests, srv.Concurrency, srv.RequestsPerSec, srv.ServedMBps, srv.CacheHitRatio, srv.Decodes)
 	}
 	fmt.Printf("\n[benchall completed in %v at scale 1/%d]\n", time.Since(start).Round(time.Second), *scale)
 }

@@ -401,27 +401,13 @@ func resolveMember(r *archive.Reader, sel string) int {
 	return i
 }
 
-// parseROI parses "x0:x1,y0:y1,z0:z1".
+// parseROI parses "x0:x1,y0:y1,z0:z1" via the shared grid parser.
 func parseROI(s string) grid.Region {
-	parts := strings.Split(s, ",")
-	if len(parts) != 3 {
-		log.Fatalf("bad -roi %q (want x0:x1,y0:y1,z0:z1)", s)
+	r, err := grid.ParseRegion(s)
+	if err != nil {
+		log.Fatalf("bad -roi: %v", err)
 	}
-	var lo, hi [3]int
-	for i, p := range parts {
-		a, b, ok := strings.Cut(p, ":")
-		if !ok {
-			log.Fatalf("bad -roi axis %q", p)
-		}
-		var err error
-		if lo[i], err = strconv.Atoi(a); err != nil {
-			log.Fatalf("bad -roi bound %q", a)
-		}
-		if hi[i], err = strconv.Atoi(b); err != nil {
-			log.Fatalf("bad -roi bound %q", b)
-		}
-	}
-	return grid.Region{X0: lo[0], Y0: lo[1], Z0: lo[2], X1: hi[0], Y1: hi[1], Z1: hi[2]}
+	return r
 }
 
 // parseScales parses a comma-separated multiplier list.

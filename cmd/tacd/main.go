@@ -1,0 +1,68 @@
+// Command tacd serves TACA archives over HTTP: snapshot, level, and
+// region extraction with a sharded block-level LRU cache in front of the
+// pooled decoders, so a fleet of concurrent readers shares decode work
+// instead of repeating it.
+//
+// Usage:
+//
+//	tacd [-listen :8080] [-cache-mb 256] [-shards 16] [-workers 0] archive.taca [name=other.taca ...]
+//
+// Each positional argument registers one archive, served under its base
+// name with the extension stripped (or an explicit name=path). Endpoints
+// (see internal/server for the full table):
+//
+//	GET /archives
+//	GET /a/{name}
+//	GET /a/{name}/snap/{i}
+//	GET /a/{name}/snap/{i}/amr
+//	GET /a/{name}/snap/{i}/level/{l}[?roi=x0:x1,y0:y1,z0:z1]
+//	GET /stats
+//	GET /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tacd: ")
+	listen := flag.String("listen", ":8080", "address to listen on")
+	cacheMB := flag.Int64("cache-mb", 256, "decoded block-batch cache budget in MiB")
+	shards := flag.Int("shards", server.DefaultCacheShards, "cache shard count")
+	workers := flag.Int("workers", 0, "per-request batch fan-out (0 = GOMAXPROCS, 1 = serial)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tacd [-listen :8080] [-cache-mb 256] [-shards 16] [-workers 0] archive.taca [name=other.taca ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s := server.New(server.Config{
+		CacheBytes:  *cacheMB << 20,
+		CacheShards: *shards,
+		Workers:     *workers,
+	})
+	defer s.Close()
+	for _, spec := range flag.Args() {
+		name, err := s.AddFile(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving %s as /a/%s", spec, name)
+	}
+	log.Printf("listening on %s (%d archives, cache %d MiB / %d shards)",
+		*listen, len(s.Names()), *cacheMB, *shards)
+	if err := http.ListenAndServe(*listen, s.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

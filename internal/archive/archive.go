@@ -68,15 +68,40 @@ type LevelIndex struct {
 	Mask        *grid.Mask // occupancy at unit-block granularity
 	BatchBlocks int        // unit blocks per batch (last batch may be short)
 	Batches     []BatchRecord
+
+	// occupied caches Mask.Count(), set by the reader and writer index
+	// builders so the serving hot paths do not popcount the mask per
+	// batch per request; occupiedCount falls back to the popcount for
+	// hand-built indices.
+	occupied int
+}
+
+// occupiedCount returns the number of occupied unit blocks.
+func (li *LevelIndex) occupiedCount() int {
+	if li.occupied > 0 || li.Mask == nil {
+		return li.occupied
+	}
+	return li.Mask.Count()
+}
+
+// BatchSpan returns the half-open range [lo, hi) of occupied-block
+// ordinals — positions in the row-major order of Mask.OccupiedIndices —
+// that frame b of the level covers. It is the frame-granularity hook the
+// serving layer keys its block cache on: batch b of a level always holds
+// exactly the blocks with ordinals in this span, in order.
+func (li *LevelIndex) BatchSpan(b int) (lo, hi int) {
+	lo = b * li.BatchBlocks
+	hi = lo + li.BatchBlocks
+	if n := li.occupiedCount(); hi > n {
+		hi = n
+	}
+	return lo, hi
 }
 
 // blockCount returns the number of occupied blocks batch b covers.
-func (li *LevelIndex) blockCount(b int, occupied int) int {
-	n := occupied - b*li.BatchBlocks
-	if n > li.BatchBlocks {
-		n = li.BatchBlocks
-	}
-	return n
+func (li *LevelIndex) blockCount(b int) int {
+	lo, hi := li.BatchSpan(b)
+	return hi - lo
 }
 
 // CompressedBytes returns the total frame bytes of the level.
@@ -283,6 +308,7 @@ func decodeFooter(buf []byte) ([]Member, error) {
 				return nil, err
 			}
 			occupied := li.Mask.Count()
+			li.occupied = occupied
 			wantBatches := 0
 			if occupied > 0 {
 				if li.BatchBlocks <= 0 {

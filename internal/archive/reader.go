@@ -1,6 +1,7 @@
 package archive
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -11,6 +12,15 @@ import (
 	"repro/internal/grid"
 	"repro/internal/sz"
 )
+
+// ErrCorrupt tags every failure caused by a damaged or truncated archive
+// file: a trailer or index that does not parse, frame bytes the codec
+// rejects, or reads that run off the data section. Callers branch on it
+// with errors.Is to distinguish archive damage from usage errors (unknown
+// member, bad level index), and every ErrCorrupt-wrapped message carries
+// the member/level/batch it was detected in — no raw io error ever
+// surfaces bare.
+var ErrCorrupt = errors.New("corrupt or truncated archive")
 
 // Reader is a random-access view of a TACA archive. Open parses only the
 // footer index; every extraction then reads exactly the frames it needs
@@ -47,29 +57,29 @@ func Open(r io.ReaderAt, size int64) (*Reader, error) {
 		return nil, fmt.Errorf("archive: reading trailer: %w", err)
 	}
 	if [8]byte(trailer[8:]) != trailerMagic {
-		return nil, fmt.Errorf("archive: bad trailer magic %q (truncated archive?)", trailer[8:])
+		return nil, fmt.Errorf("archive: %w: bad trailer magic %q", ErrCorrupt, trailer[8:])
 	}
 	var flen uint64
 	for i := 7; i >= 0; i-- {
 		flen = flen<<8 | uint64(trailer[i])
 	}
 	if flen > uint64(size-headerLen-trailerLen) {
-		return nil, fmt.Errorf("archive: footer length %d exceeds file size %d", flen, size)
+		return nil, fmt.Errorf("archive: %w: footer length %d exceeds file size %d", ErrCorrupt, flen, size)
 	}
 	footer := make([]byte, flen)
 	if _, err := r.ReadAt(footer, size-trailerLen-int64(flen)); err != nil {
-		return nil, fmt.Errorf("archive: reading footer: %w", err)
+		return nil, fmt.Errorf("archive: %w: reading footer: %w", ErrCorrupt, err)
 	}
 	members, err := decodeFooter(footer)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	dataEnd := size - trailerLen - int64(flen)
 	for mi := range members {
 		for li := range members[mi].Levels {
 			for _, b := range members[mi].Levels[li].Batches {
 				if b.Offset < headerLen || b.Offset+b.Length > dataEnd {
-					return nil, fmt.Errorf("archive: member %d level %d frame [%d,%d) outside data section", mi, li, b.Offset, b.Offset+b.Length)
+					return nil, fmt.Errorf("archive: %w: member %d level %d frame [%d,%d) outside data section", ErrCorrupt, mi, li, b.Offset, b.Offset+b.Length)
 				}
 			}
 		}
@@ -100,7 +110,8 @@ func OpenFile(path string) (*FileReader, error) {
 	r, err := Open(f, st.Size())
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("archive: %s: %w", path, err)
+		// Open's errors already carry the "archive:" prefix; add the path.
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return &FileReader{Reader: r, f: f}, nil
 }
@@ -128,6 +139,62 @@ func (r *Reader) member(i int) (*Member, error) {
 	return &r.members[i], nil
 }
 
+// DecodeBatch reads and decodes exactly one block-batch frame: batch b of
+// level li of member mi. The returned grids are the frame's occupied unit
+// blocks in row-major mask order — ordinals BatchSpan(b) of the level's
+// Mask.OccupiedIndices() — freshly allocated and owned by the caller. This
+// is the frame-granularity extraction hook the serving layer builds its
+// block cache on. Decoding borrows a pooled sz decoder; DecodeBatchWith
+// lets a caller supply its own.
+func (r *Reader) DecodeBatch(mi, li, b int) ([]*grid.Grid3[amr.Value], error) {
+	dec := decoders.Get()
+	defer decoders.Put(dec)
+	return r.DecodeBatchWith(dec, mi, li, b)
+}
+
+// DecodeBatchWith is DecodeBatch decoding through dec, for callers that
+// pin per-goroutine decoders instead of sharing the package pool.
+func (r *Reader) DecodeBatchWith(dec *sz.Decoder[amr.Value], mi, li, b int) ([]*grid.Grid3[amr.Value], error) {
+	m, err := r.member(mi)
+	if err != nil {
+		return nil, err
+	}
+	if li < 0 || li >= len(m.Levels) {
+		return nil, fmt.Errorf("archive: member %d has no level %d", mi, li)
+	}
+	idx := &m.Levels[li]
+	if b < 0 || b >= len(idx.Batches) {
+		return nil, fmt.Errorf("archive: member %d level %d has no batch %d (have %d)", mi, li, b, len(idx.Batches))
+	}
+	return r.decodeBatch(dec, idx, mi, li, b)
+}
+
+// decodeBatch reads frame b of idx through the ReaderAt and decodes it,
+// validating the frame geometry against the index. mi and li only provide
+// error context.
+func (r *Reader) decodeBatch(dec *sz.Decoder[amr.Value], idx *LevelIndex, mi, li, b int) ([]*grid.Grid3[amr.Value], error) {
+	rec := idx.Batches[b]
+	blob := make([]byte, rec.Length)
+	if _, err := r.r.ReadAt(blob, rec.Offset); err != nil {
+		return nil, fmt.Errorf("archive: member %d level %d batch %d: %w: reading frame: %w", mi, li, b, ErrCorrupt, err)
+	}
+	lo, hi := idx.BatchSpan(b)
+	info, err := sz.PeekBatch(blob)
+	if err != nil {
+		return nil, fmt.Errorf("archive: member %d level %d batch %d: %w: %w", mi, li, b, ErrCorrupt, err)
+	}
+	wantDims := grid.Dims{X: idx.UnitBlock, Y: idx.UnitBlock, Z: idx.UnitBlock}
+	if info.BlockDims != wantDims || info.Blocks != hi-lo {
+		return nil, fmt.Errorf("archive: member %d level %d batch %d: %w: frame holds %d×%v blocks, index implies %d×%v",
+			mi, li, b, ErrCorrupt, info.Blocks, info.BlockDims, hi-lo, wantDims)
+	}
+	blocks, err := dec.DecompressBlocks(blob)
+	if err != nil {
+		return nil, fmt.Errorf("archive: member %d level %d batch %d: %w: %w", mi, li, b, ErrCorrupt, err)
+	}
+	return blocks, nil
+}
+
 // Extract reconstructs a whole member as a dataset.
 func (r *Reader) Extract(i int) (*amr.Dataset, error) {
 	return r.extract(i, nil)
@@ -143,7 +210,7 @@ func (r *Reader) ExtractLevel(i, li int) (*amr.Level, error) {
 	if li < 0 || li >= len(m.Levels) {
 		return nil, fmt.Errorf("archive: member %d has no level %d", i, li)
 	}
-	return r.extractLevel(m, li, nil)
+	return r.extractLevel(m, i, li, nil)
 }
 
 // ExtractRegion reconstructs the part of a member covering roi, a region
@@ -197,9 +264,9 @@ func (r *Reader) extract(i int, wants []*grid.Mask) (*amr.Dataset, error) {
 		if wants != nil {
 			want = wants[li]
 		}
-		l, err := r.extractLevel(m, li, want)
+		l, err := r.extractLevel(m, i, li, want)
 		if err != nil {
-			return nil, fmt.Errorf("archive: member %d level %d: %w", i, li, err)
+			return nil, err
 		}
 		ds.Levels = append(ds.Levels, l)
 	}
@@ -208,15 +275,15 @@ func (r *Reader) extract(i int, wants []*grid.Mask) (*amr.Dataset, error) {
 
 // extractLevel reads and decodes only the batches containing wanted blocks
 // (want nil means every occupied block), scattering them into a fresh
-// level.
-func (r *Reader) extractLevel(m *Member, liIdx int, want *grid.Mask) (*amr.Level, error) {
+// level. mi only provides error context.
+func (r *Reader) extractLevel(m *Member, mi, liIdx int, want *grid.Mask) (*amr.Level, error) {
 	idx := &m.Levels[liIdx]
 	l := amr.NewLevel(idx.Dims, idx.UnitBlock)
 	ords := idx.Mask.OccupiedIndices()
 	if want == nil {
 		l.Mask.CopyFrom(idx.Mask)
 	} else if want.Dim != idx.Mask.Dim {
-		return nil, fmt.Errorf("archive: want mask dims %v, level has %v", want.Dim, idx.Mask.Dim)
+		return nil, fmt.Errorf("archive: member %d level %d: want mask dims %v, level has %v", mi, liIdx, want.Dim, idx.Mask.Dim)
 	}
 
 	// Plan which batches to touch before reading a single frame byte.
@@ -227,7 +294,7 @@ func (r *Reader) extractLevel(m *Member, liIdx int, want *grid.Mask) (*amr.Level
 	var jobs []job
 	for b := range idx.Batches {
 		lo := b * idx.BatchBlocks
-		hi := lo + idx.blockCount(b, len(ords))
+		hi := lo + idx.blockCount(b)
 		if want != nil {
 			hit := false
 			for _, ord := range ords[lo:hi] {
@@ -254,27 +321,13 @@ func (r *Reader) extractLevel(m *Member, liIdx int, want *grid.Mask) (*amr.Level
 		workers = len(jobs)
 	}
 	run := func(j job) error {
-		rec := idx.Batches[j.batch]
-		blob := make([]byte, rec.Length)
-		if _, err := r.r.ReadAt(blob, rec.Offset); err != nil {
-			return fmt.Errorf("batch %d: %w", j.batch, err)
-		}
-		count := idx.blockCount(j.batch, len(ords))
-		info, err := sz.PeekBatch(blob)
-		if err != nil {
-			return fmt.Errorf("batch %d: %w", j.batch, err)
-		}
-		wantDims := grid.Dims{X: idx.UnitBlock, Y: idx.UnitBlock, Z: idx.UnitBlock}
-		if info.BlockDims != wantDims || info.Blocks != count {
-			return fmt.Errorf("batch %d holds %d×%v blocks, index implies %d×%v",
-				j.batch, info.Blocks, info.BlockDims, count, wantDims)
-		}
 		dec := decoders.Get()
 		defer decoders.Put(dec)
-		blocks, err := dec.DecompressBlocks(blob)
+		blocks, err := r.decodeBatch(dec, idx, mi, liIdx, j.batch)
 		if err != nil {
-			return fmt.Errorf("batch %d: %w", j.batch, err)
+			return err
 		}
+		count := idx.blockCount(j.batch)
 		for k, ord := range ords[j.lo : j.lo+count] {
 			if want != nil && !want.AtIndex(ord) {
 				continue
@@ -292,7 +345,7 @@ func (r *Reader) extractLevel(m *Member, liIdx int, want *grid.Mask) (*amr.Level
 			return
 		}
 		for _, j := range jobs {
-			for _, ord := range ords[j.lo : j.lo+idx.blockCount(j.batch, len(ords))] {
+			for _, ord := range ords[j.lo : j.lo+idx.blockCount(j.batch)] {
 				if want.AtIndex(ord) {
 					l.Mask.SetIndex(ord, true)
 				}

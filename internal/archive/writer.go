@@ -164,6 +164,7 @@ func (mw *MemberWriter) AddLevel(l *amr.Level) error {
 		BatchBlocks: batchBlocks,
 	}
 	ords := l.Mask.OccupiedIndices()
+	idx.occupied = len(ords)
 	nbatch := (len(ords) + batchBlocks - 1) / batchBlocks
 	if nbatch == 0 {
 		mw.member.Levels = append(mw.member.Levels, idx)

@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// TestServeBenchSmoke runs the serving benchmark end to end at a small
+// scale and sanity-checks the record: all requests answered, the repeated
+// workload hit the cache, and singleflight kept decodes at or below
+// misses.
+func TestServeBenchSmoke(t *testing.T) {
+	res, err := ServeBench(NewEnv(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 || res.RequestsPerSec <= 0 {
+		t.Fatalf("no requests measured: %+v", res)
+	}
+	if res.ServedBytes == 0 {
+		t.Fatalf("no bytes served: %+v", res)
+	}
+	if res.CacheHitRatio <= 0 {
+		t.Fatalf("repeated workload produced no cache hits: %+v", res)
+	}
+	if res.Decodes > res.CacheMisses {
+		t.Fatalf("decodes %d exceed misses %d (singleflight accounting broken): %+v",
+			res.Decodes, res.CacheMisses, res)
+	}
+}

@@ -11,6 +11,8 @@ package grid
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 )
 
 // Float is the element constraint for grids: the single- and
@@ -141,6 +143,55 @@ func (r Region) Count() int { return r.Dims().Count() }
 // Empty reports whether the region contains no cells.
 func (r Region) Empty() bool { return r.X1 <= r.X0 || r.Y1 <= r.Y0 || r.Z1 <= r.Z0 }
 
+// ParseRegion parses the "x0:x1,y0:y1,z0:z1" region syntax shared by the
+// tacc -roi flag and the serving layer's roi query parameter, so the two
+// surfaces cannot drift apart.
+func ParseRegion(s string) (Region, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return Region{}, fmt.Errorf("grid: bad region %q (want x0:x1,y0:y1,z0:z1)", s)
+	}
+	var lo, hi [3]int
+	for i, p := range parts {
+		a, b, ok := strings.Cut(p, ":")
+		if !ok {
+			return Region{}, fmt.Errorf("grid: bad region axis %q", p)
+		}
+		var err error
+		if lo[i], err = strconv.Atoi(a); err != nil {
+			return Region{}, fmt.Errorf("grid: bad region bound %q", a)
+		}
+		if hi[i], err = strconv.Atoi(b); err != nil {
+			return Region{}, fmt.Errorf("grid: bad region bound %q", b)
+		}
+	}
+	return Region{X0: lo[0], Y0: lo[1], Z0: lo[2], X1: hi[0], Y1: hi[1], Z1: hi[2]}, nil
+}
+
+// Clip returns the intersection of r and o (possibly empty).
+func (r Region) Clip(o Region) Region {
+	c := r
+	if c.X0 < o.X0 {
+		c.X0 = o.X0
+	}
+	if c.Y0 < o.Y0 {
+		c.Y0 = o.Y0
+	}
+	if c.Z0 < o.Z0 {
+		c.Z0 = o.Z0
+	}
+	if c.X1 > o.X1 {
+		c.X1 = o.X1
+	}
+	if c.Y1 > o.Y1 {
+		c.Y1 = o.Y1
+	}
+	if c.Z1 > o.Z1 {
+		c.Z1 = o.Z1
+	}
+	return c
+}
+
 // Intersect clips the region to the grid extent d.
 func (r Region) Intersect(d Dims) Region {
 	c := r
@@ -208,6 +259,35 @@ func (g *Grid3[T]) SetRegion(r Region, src []T) {
 			dst := g.Dim.Index(x, y, r.Z0)
 			copy(g.Data[dst:dst+nz], src[si:si+nz])
 			si += nz
+		}
+	}
+}
+
+// CopyRegionOverlap copies the cells where the source region sr and the
+// destination region dr overlap. Both buffers are dense row-major (z
+// fastest) over their own region's dims and both regions live in the same
+// coordinate space; dst cells outside sr are left untouched. This is the
+// region-assembly primitive of the serving layer: a response buffer dense
+// over a requested ROI is filled directly from independently decoded unit
+// blocks, with no intermediate level-sized grid.
+func CopyRegionOverlap[T Float](dst []T, dr Region, src []T, sr Region) {
+	dd, sd := dr.Dims(), sr.Dims()
+	if len(dst) != dd.Count() {
+		panic(fmt.Sprintf("grid: dst length %d does not match region %v (%d cells)", len(dst), dr, dd.Count()))
+	}
+	if len(src) != sd.Count() {
+		panic(fmt.Sprintf("grid: src length %d does not match region %v (%d cells)", len(src), sr, sd.Count()))
+	}
+	ov := dr.Clip(sr)
+	if ov.Empty() {
+		return
+	}
+	nz := ov.Z1 - ov.Z0
+	for x := ov.X0; x < ov.X1; x++ {
+		for y := ov.Y0; y < ov.Y1; y++ {
+			di := ((x-dr.X0)*dd.Y+(y-dr.Y0))*dd.Z + (ov.Z0 - dr.Z0)
+			si := ((x-sr.X0)*sd.Y+(y-sr.Y0))*sd.Z + (ov.Z0 - sr.Z0)
+			copy(dst[di:di+nz], src[si:si+nz])
 		}
 	}
 }

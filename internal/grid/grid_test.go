@@ -230,3 +230,61 @@ func TestCloneIndependence(t *testing.T) {
 		t.Fatal("Mask.Clone shares storage")
 	}
 }
+
+func TestRegionClip(t *testing.T) {
+	a := Region{X0: 1, Y0: 2, Z0: 3, X1: 8, Y1: 9, Z1: 10}
+	b := Region{X0: 4, Y0: 0, Z0: 5, X1: 12, Y1: 6, Z1: 7}
+	got := a.Clip(b)
+	want := Region{X0: 4, Y0: 2, Z0: 5, X1: 8, Y1: 6, Z1: 7}
+	if got != want {
+		t.Fatalf("Clip = %v, want %v", got, want)
+	}
+	if got != b.Clip(a) {
+		t.Fatal("Clip is not symmetric")
+	}
+	if !a.Clip(Region{X0: 20, X1: 22, Y1: 1, Z1: 1}).Empty() {
+		t.Fatal("disjoint regions should clip to empty")
+	}
+}
+
+// TestCopyRegionOverlap scatters blocks into an ROI buffer and checks
+// every cell against a reference assembled through a full-size grid.
+func TestCopyRegionOverlap(t *testing.T) {
+	d := Dims{X: 8, Y: 8, Z: 8}
+	full := New[float32](d)
+	for i := range full.Data {
+		full.Data[i] = float32(i)
+	}
+	roi := Region{X0: 2, Y0: 3, Z0: 1, X1: 7, Y1: 8, Z1: 6}
+	// Assemble the ROI from 4x4x4 blocks of the full grid.
+	got := make([]float32, roi.Count())
+	for bx := 0; bx < 2; bx++ {
+		for by := 0; by < 2; by++ {
+			for bz := 0; bz < 2; bz++ {
+				br := Region{
+					X0: bx * 4, Y0: by * 4, Z0: bz * 4,
+					X1: bx*4 + 4, Y1: by*4 + 4, Z1: bz*4 + 4,
+				}
+				block := full.Extract(br)
+				CopyRegionOverlap(got, roi, block.Data, br)
+			}
+		}
+	}
+	want := make([]float32, roi.Count())
+	full.CopyRegionTo(roi, want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d: got %g, want %g", i, got[i], want[i])
+		}
+	}
+	// A source entirely outside the ROI must leave dst untouched.
+	before := append([]float32(nil), got...)
+	outside := New[float32](Dims{X: 1, Y: 1, Z: 1})
+	outside.Data[0] = 999
+	CopyRegionOverlap(got, roi, outside.Data, Region{X0: 7, Y0: 0, Z0: 0, X1: 8, Y1: 1, Z1: 1})
+	for i := range got {
+		if got[i] != before[i] {
+			t.Fatalf("disjoint copy mutated cell %d", i)
+		}
+	}
+}

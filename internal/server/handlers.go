@@ -1,0 +1,347 @@
+package server
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/amr"
+	"repro/internal/archive"
+	"repro/internal/grid"
+)
+
+// Handler returns the HTTP API:
+//
+//	GET /healthz                                 liveness probe
+//	GET /stats                                   cache + registry counters (JSON)
+//	GET /archives                                registered archives (JSON)
+//	GET /a/{name}                                member listing (JSON)
+//	GET /a/{name}/snap/{i}                       one member's level geometry (JSON)
+//	GET /a/{name}/snap/{i}/amr                   whole snapshot, .amr stream
+//	GET /a/{name}/snap/{i}/level/{l}             dense level grid, raw float32 LE
+//	GET /a/{name}/snap/{i}/level/{l}?roi=x0:x1,y0:y1,z0:z1
+//	                                             dense window of the level (level cells)
+//
+// Binary responses carry the payload geometry in X-Tac-* headers and are
+// gzip-compressed when the client advertises Accept-Encoding: gzip.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /archives", s.handleArchives)
+	mux.HandleFunc("GET /a/{name}", s.handleArchive)
+	mux.HandleFunc("GET /a/{name}/snap/{snap}", s.handleSnap)
+	mux.HandleFunc("GET /a/{name}/snap/{snap}/amr", s.handleSnapAMR)
+	mux.HandleFunc("GET /a/{name}/snap/{snap}/level/{level}", s.handleLevel)
+	return mux
+}
+
+// httpError maps an assembly error to a status code via the sentinel the
+// error was tagged with: unknown names and indices are the client's
+// fault, archive damage and everything untagged is a server-side failure.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrBadRequest):
+		code = http.StatusBadRequest
+	}
+	http.Error(w, err.Error(), code)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+// archiveInfo is the /archives listing row.
+type archiveInfo struct {
+	Name            string `json:"name"`
+	Members         int    `json:"members"`
+	CompressedBytes int64  `json:"compressed_bytes"`
+	OriginalBytes   int64  `json:"original_bytes"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// One snapshot for both fields, so the reported ratio always equals
+	// hits/(hits+misses) of the counters in the same body.
+	st := s.cache.Stats()
+	writeJSON(w, struct {
+		Archives []string   `json:"archives"`
+		Cache    CacheStats `json:"cache"`
+		HitRatio float64    `json:"cache_hit_ratio"`
+	}{s.Names(), st, st.HitRatio()})
+}
+
+func (s *Server) handleArchives(w http.ResponseWriter, r *http.Request) {
+	var out []archiveInfo
+	for _, name := range s.Names() {
+		sa, err := s.lookup(name)
+		if err != nil {
+			continue // racing Close; skip
+		}
+		info := archiveInfo{Name: name}
+		for mi := range sa.r.Members() {
+			m := &sa.r.Members()[mi]
+			info.Members++
+			info.CompressedBytes += m.CompressedBytes()
+			info.OriginalBytes += m.OriginalBytes()
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, struct {
+		Archives []archiveInfo `json:"archives"`
+	}{out})
+}
+
+// memberInfo is the /a/{name} listing row.
+type memberInfo struct {
+	Index           int     `json:"index"`
+	Name            string  `json:"name"`
+	Field           string  `json:"field"`
+	Ratio           int     `json:"ratio"`
+	Levels          int     `json:"levels"`
+	StoredCells     int     `json:"stored_cells"`
+	CompressedBytes int64   `json:"compressed_bytes"`
+	ErrorBound      float64 `json:"error_bound"`
+}
+
+func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
+	sa, err := s.lookup(r.PathValue("name"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	members := sa.r.Members()
+	out := make([]memberInfo, len(members))
+	for mi := range members {
+		m := &members[mi]
+		out[mi] = memberInfo{
+			Index: mi, Name: m.Name, Field: m.Field, Ratio: m.Ratio,
+			Levels: len(m.Levels), StoredCells: m.StoredCells(),
+			CompressedBytes: m.CompressedBytes(), ErrorBound: m.ErrorBound,
+		}
+	}
+	writeJSON(w, struct {
+		Name    string       `json:"name"`
+		Members []memberInfo `json:"members"`
+	}{sa.name, out})
+}
+
+// levelInfo is the /a/{name}/snap/{i} geometry row.
+type levelInfo struct {
+	Level           int    `json:"level"`
+	Dims            [3]int `json:"dims"`
+	UnitBlock       int    `json:"unit_block"`
+	OccupiedBlocks  int    `json:"occupied_blocks"`
+	Batches         int    `json:"batches"`
+	CompressedBytes int64  `json:"compressed_bytes"`
+}
+
+// snapArgs resolves the {name}/{snap} path segments shared by the
+// snapshot handlers.
+func (s *Server) snapArgs(r *http.Request) (*servedArchive, int, *archive.Member, error) {
+	sa, err := s.lookup(r.PathValue("name"))
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	mi, err := strconv.Atoi(r.PathValue("snap"))
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("server: %w: snapshot index %q is not a number", ErrBadRequest, r.PathValue("snap"))
+	}
+	m, err := sa.member(mi)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return sa, mi, m, nil
+}
+
+func (s *Server) handleSnap(w http.ResponseWriter, r *http.Request) {
+	sa, mi, m, err := s.snapArgs(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	levels := make([]levelInfo, len(m.Levels))
+	for li := range m.Levels {
+		idx := &m.Levels[li]
+		levels[li] = levelInfo{
+			Level:          li,
+			Dims:           [3]int{idx.Dims.X, idx.Dims.Y, idx.Dims.Z},
+			UnitBlock:      idx.UnitBlock,
+			OccupiedBlocks: idx.Mask.Count(),
+			Batches:        len(idx.Batches),
+
+			CompressedBytes: idx.CompressedBytes(),
+		}
+	}
+	writeJSON(w, struct {
+		Archive string      `json:"archive"`
+		Index   int         `json:"index"`
+		Name    string      `json:"name"`
+		Field   string      `json:"field"`
+		Ratio   int         `json:"ratio"`
+		Levels  []levelInfo `json:"levels"`
+	}{sa.name, mi, m.Name, m.Field, m.Ratio, levels})
+}
+
+func (s *Server) handleSnapAMR(w http.ResponseWriter, r *http.Request) {
+	sa, mi, _, err := s.snapArgs(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	ds, err := s.Dataset(sa.name, mi)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	bw := compressedBody(w, r)
+	defer bw.Close()
+	// Best effort: the status line is already gone, so a mid-stream write
+	// failure can only surface as a truncated body.
+	_ = ds.Write(bw)
+}
+
+func (s *Server) handleLevel(w http.ResponseWriter, r *http.Request) {
+	sa, mi, m, err := s.snapArgs(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	li, err := strconv.Atoi(r.PathValue("level"))
+	if err != nil {
+		httpError(w, fmt.Errorf("server: %w: level index %q is not a number", ErrBadRequest, r.PathValue("level")))
+		return
+	}
+	var g *grid.Grid3[amr.Value]
+	var reg grid.Region
+	if roiStr := r.URL.Query().Get("roi"); roiStr != "" {
+		roi, err := grid.ParseRegion(roiStr)
+		if err != nil {
+			httpError(w, fmt.Errorf("server: %w: %w", ErrBadRequest, err))
+			return
+		}
+		g, reg, err = s.Region(sa.name, mi, li, roi)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+	} else {
+		var idx *archive.LevelIndex
+		g, idx, err = s.Level(sa.name, mi, li)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		reg = grid.RegionOf(idx.Dims)
+	}
+	// Both assembly paths above return ErrNotFound for an out-of-range
+	// level, so li is valid here.
+	ub := m.Levels[li].UnitBlock
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-Tac-Elem", "float32le")
+	h.Set("X-Tac-Dims", fmt.Sprintf("%d %d %d", g.Dim.X, g.Dim.Y, g.Dim.Z))
+	h.Set("X-Tac-Region", fmt.Sprintf("%d:%d,%d:%d,%d:%d", reg.X0, reg.X1, reg.Y0, reg.Y1, reg.Z0, reg.Z1))
+	h.Set("X-Tac-Unit-Block", strconv.Itoa(ub))
+	bw := compressedBody(w, r)
+	defer bw.Close()
+	writeFloats(bw, g.Data)
+}
+
+// writeFloats streams values as little-endian float32, chunked so a large
+// level never materializes a second full-size byte buffer.
+func writeFloats(w io.Writer, vals []amr.Value) error {
+	const chunk = 16384
+	buf := make([]byte, 0, chunk*4)
+	for len(vals) > 0 {
+		n := min(len(vals), chunk)
+		buf = buf[:0]
+		for _, v := range vals[:n] {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+// gzipWriters pools the serving-side gzip state (BestSpeed; level grids
+// of floats compress little but the window state is the expensive part).
+var gzipWriters = sync.Pool{
+	New: func() any {
+		zw, _ := gzip.NewWriterLevel(nil, gzip.BestSpeed)
+		return zw
+	},
+}
+
+// bodyWriter is the response body sink: possibly gzip-wrapped.
+type bodyWriter struct {
+	io.Writer
+	zw *gzip.Writer
+}
+
+// Close flushes and pools the gzip writer, if any.
+func (b *bodyWriter) Close() error {
+	if b.zw == nil {
+		return nil
+	}
+	err := b.zw.Close()
+	b.zw.Reset(nil)
+	gzipWriters.Put(b.zw)
+	return err
+}
+
+// acceptsGzip reports whether the request's Accept-Encoding lists gzip
+// with a nonzero quality: "gzip", "x-gzip" or "gzip;q=0.5" accept it,
+// "gzip;q=0" and absence refuse it (the content-negotiation cases a
+// strict client relies on; full q-value ranking across codings is not
+// attempted since gzip is the only coding offered).
+func acceptsGzip(header string) bool {
+	for _, part := range strings.Split(header, ",") {
+		coding, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		coding = strings.TrimSpace(coding)
+		if coding != "gzip" && coding != "x-gzip" && coding != "*" {
+			continue
+		}
+		for _, p := range strings.Split(params, ";") {
+			k, v, _ := strings.Cut(strings.TrimSpace(p), "=")
+			if strings.TrimSpace(k) == "q" {
+				q, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+				return err != nil || q > 0
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// compressedBody wraps w in gzip when the request advertises support.
+// Callers must Close the result before returning.
+func compressedBody(w http.ResponseWriter, r *http.Request) *bodyWriter {
+	if !acceptsGzip(r.Header.Get("Accept-Encoding")) {
+		return &bodyWriter{Writer: w}
+	}
+	w.Header().Set("Content-Encoding", "gzip")
+	zw := gzipWriters.Get().(*gzip.Writer)
+	zw.Reset(w)
+	return &bodyWriter{Writer: zw, zw: zw}
+}

@@ -1,0 +1,397 @@
+// Package server implements tacd's concurrent TAC serving layer: a
+// long-lived HTTP service that opens one or more TACA archives once and
+// serves snapshot / level / region extraction out of them under
+// contention. Three mechanisms keep N concurrent requests from costing N
+// full decodes:
+//
+//   - per-archive reader reuse: each archive is opened (index parsed)
+//     exactly once, and every request reads frames through the shared
+//     io.ReaderAt, which archive.Reader supports from any number of
+//     goroutines;
+//   - a sharded, byte-budgeted LRU cache over decoded block batches,
+//     keyed at exactly the container's frame granularity
+//     (archive/member/level/batch), so the popular frames of a campaign
+//     stay decoded;
+//   - singleflight collapse of concurrent misses, so a thundering herd
+//     on one frame decodes it once while everyone else waits for the
+//     shared result.
+//
+// Decoding borrows pooled sz engines (archive.Reader.DecodeBatch), so
+// steady-state serving allocates only response buffers.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/amr"
+	"repro/internal/archive"
+	"repro/internal/grid"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultCacheBytes  = 256 << 20 // 256 MiB of decoded batches
+	DefaultCacheShards = 16
+)
+
+// Sentinels the HTTP layer maps to status codes (errors.Is); every
+// client-attributable failure in this package wraps one of them.
+var (
+	// ErrNotFound tags lookups of archives, snapshots, levels or batches
+	// that do not exist.
+	ErrNotFound = errors.New("not found")
+	// ErrBadRequest tags malformed or out-of-range request parameters.
+	ErrBadRequest = errors.New("bad request")
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// CacheBytes budgets the decoded-batch LRU cache; 0 means
+	// DefaultCacheBytes. The budget is split evenly across shards.
+	CacheBytes int64
+	// CacheShards splits the cache into independently locked shards;
+	// 0 means DefaultCacheShards.
+	CacheShards int
+	// Workers bounds the per-request batch fan-out during level and
+	// region assembly; 0 means GOMAXPROCS, 1 assembles serially.
+	Workers int
+}
+
+// servedArchive is one registered archive: the shared Reader plus the
+// precomputed per-level ordinal tables (OccupiedIndices is O(mask) per
+// call, so it is paid once at registration, not per request).
+type servedArchive struct {
+	name   string
+	r      *archive.Reader
+	closer io.Closer
+	ords   [][][]int // [member][level] -> occupied block indices
+}
+
+// Server routes extraction requests across its registered archives. Add
+// archives before serving; the registry itself is guarded, so late
+// registration is safe too.
+type Server struct {
+	cfg   Config
+	cache *Cache
+
+	mu       sync.RWMutex
+	archives map[string]*servedArchive
+	names    []string
+}
+
+// New returns a Server with the given configuration.
+func New(cfg Config) *Server {
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = DefaultCacheShards
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheBytes, cfg.CacheShards),
+		archives: make(map[string]*servedArchive),
+	}
+}
+
+// Cache exposes the block cache (stats endpoints, benchmarks, tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Add registers an opened archive under name. closer, if non-nil, is
+// closed by Server.Close. Names must be unique and non-empty.
+func (s *Server) Add(name string, r *archive.Reader, closer io.Closer) error {
+	if name == "" {
+		return fmt.Errorf("server: empty archive name")
+	}
+	sa := &servedArchive{name: name, r: r, closer: closer}
+	members := r.Members()
+	sa.ords = make([][][]int, len(members))
+	for mi := range members {
+		levels := members[mi].Levels
+		sa.ords[mi] = make([][]int, len(levels))
+		for li := range levels {
+			sa.ords[mi][li] = levels[li].Mask.OccupiedIndices()
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.archives[name]; dup {
+		return fmt.Errorf("server: archive %q already registered", name)
+	}
+	s.archives[name] = sa
+	s.names = append(s.names, name)
+	sort.Strings(s.names)
+	return nil
+}
+
+// AddFile opens a .taca file and registers it under its base name with
+// the extension stripped (override by passing spec as "name=path").
+func (s *Server) AddFile(spec string) (string, error) {
+	name, path, ok := strings.Cut(spec, "=")
+	if !ok {
+		path = spec
+		name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	fr, err := archive.OpenFile(path)
+	if err != nil {
+		return "", err
+	}
+	if err := s.Add(name, fr.Reader, fr); err != nil {
+		fr.Close()
+		return "", err
+	}
+	return name, nil
+}
+
+// Close closes every registered archive that was added with a closer.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, sa := range s.archives {
+		if sa.closer != nil {
+			if err := sa.closer.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	s.archives = make(map[string]*servedArchive)
+	s.names = nil
+	// Drop every cached batch: entries are keyed by archive name, so a
+	// later Add under a reused name must never serve blocks decoded from
+	// the old file.
+	s.cache.Purge()
+	return first
+}
+
+// Names returns the registered archive names, sorted.
+func (s *Server) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.names...)
+}
+
+// lookup resolves an archive name.
+func (s *Server) lookup(name string) (*servedArchive, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sa, ok := s.archives[name]
+	if !ok {
+		return nil, fmt.Errorf("server: %w: no archive %q", ErrNotFound, name)
+	}
+	return sa, nil
+}
+
+// member bounds-checks and resolves a member of an archive.
+func (sa *servedArchive) member(mi int) (*archive.Member, error) {
+	members := sa.r.Members()
+	if mi < 0 || mi >= len(members) {
+		return nil, fmt.Errorf("server: %w: archive %q has no snapshot %d (have %d)", ErrNotFound, sa.name, mi, len(members))
+	}
+	return &members[mi], nil
+}
+
+// batch returns the decoded blocks of one frame, from the cache or
+// decoded once via the pooled engines (concurrent misses collapse).
+func (s *Server) batch(sa *servedArchive, mi, li, b int) (blocks, error) {
+	return s.cache.GetOrFill(Key{Archive: sa.name, Member: mi, Level: li, Batch: b}, func() (blocks, int64, error) {
+		v, err := sa.r.DecodeBatch(mi, li, b)
+		if err != nil {
+			return nil, 0, err
+		}
+		return v, batchCost(v), nil
+	})
+}
+
+// forEachBatch runs fn(b) for every batch index in jobs, fanning out
+// across the server's worker budget. fn must only touch disjoint state
+// per batch (the assembly paths write disjoint cell ranges).
+func (s *Server) forEachBatch(jobs []int, fn func(b int) error) error {
+	workers := s.cfg.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, b := range jobs {
+			if err := fn(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(jobs))
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for ji, b := range jobs {
+		// Once any batch fails the request is lost; don't burn decode
+		// time on the rest (undispatched jobs stay nil in errs).
+		if failed.Load() {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ji, b int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(b); err != nil {
+				errs[ji] = err
+				failed.Store(true)
+			}
+		}(ji, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Level assembles the full grid of one refinement level from cached
+// batches: byte-identical to archive.Reader.ExtractLevel(mi, li).Grid.
+func (s *Server) Level(name string, mi, li int) (*grid.Grid3[amr.Value], *archive.LevelIndex, error) {
+	sa, err := s.lookup(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := sa.member(mi)
+	if err != nil {
+		return nil, nil, err
+	}
+	if li < 0 || li >= len(m.Levels) {
+		return nil, nil, fmt.Errorf("server: %w: archive %q snapshot %d has no level %d", ErrNotFound, name, mi, li)
+	}
+	idx := &m.Levels[li]
+	g := grid.New[amr.Value](idx.Dims)
+	ords := sa.ords[mi][li]
+	jobs := make([]int, len(idx.Batches))
+	for b := range jobs {
+		jobs[b] = b
+	}
+	err = s.forEachBatch(jobs, func(b int) error {
+		bl, err := s.batch(sa, mi, li, b)
+		if err != nil {
+			return err
+		}
+		lo, hi := idx.BatchSpan(b)
+		for k, ord := range ords[lo:hi] {
+			bx, by, bz := idx.Mask.Dim.Coords(ord)
+			g.SetRegion(blockRegion(bx, by, bz, idx.UnitBlock), bl[k].Data)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, idx, nil
+}
+
+// Region assembles the dense window of one level covering roi (in that
+// level's cell coordinates, clipped to its extent): the returned grid has
+// roi.Dims() cells, with cells outside the level's stored blocks zero —
+// byte-identical to the same window of the fully extracted level. Only
+// frames whose blocks intersect roi are fetched or decoded.
+func (s *Server) Region(name string, mi, li int, roi grid.Region) (*grid.Grid3[amr.Value], grid.Region, error) {
+	sa, err := s.lookup(name)
+	if err != nil {
+		return nil, grid.Region{}, err
+	}
+	m, err := sa.member(mi)
+	if err != nil {
+		return nil, grid.Region{}, err
+	}
+	if li < 0 || li >= len(m.Levels) {
+		return nil, grid.Region{}, fmt.Errorf("server: %w: archive %q snapshot %d has no level %d", ErrNotFound, name, mi, li)
+	}
+	idx := &m.Levels[li]
+	clipped := roi.Intersect(idx.Dims)
+	if clipped.Empty() {
+		return nil, grid.Region{}, fmt.Errorf("server: %w: region %v does not intersect level %d extent %v", ErrBadRequest, roi, li, idx.Dims)
+	}
+	roi = clipped
+	ub := idx.UnitBlock
+	// Block-space window of the ROI: frames with no block inside it are
+	// skipped without touching the ReaderAt or the cache.
+	br := grid.Region{
+		X0: roi.X0 / ub, Y0: roi.Y0 / ub, Z0: roi.Z0 / ub,
+		X1: (roi.X1 + ub - 1) / ub, Y1: (roi.Y1 + ub - 1) / ub, Z1: (roi.Z1 + ub - 1) / ub,
+	}
+	ords := sa.ords[mi][li]
+	var jobs []int
+	for b := range idx.Batches {
+		lo, hi := idx.BatchSpan(b)
+		for _, ord := range ords[lo:hi] {
+			bx, by, bz := idx.Mask.Dim.Coords(ord)
+			if bx >= br.X0 && bx < br.X1 && by >= br.Y0 && by < br.Y1 && bz >= br.Z0 && bz < br.Z1 {
+				jobs = append(jobs, b)
+				break
+			}
+		}
+	}
+	out := grid.New[amr.Value](roi.Dims())
+	err = s.forEachBatch(jobs, func(b int) error {
+		bl, err := s.batch(sa, mi, li, b)
+		if err != nil {
+			return err
+		}
+		lo, hi := idx.BatchSpan(b)
+		for k, ord := range ords[lo:hi] {
+			bx, by, bz := idx.Mask.Dim.Coords(ord)
+			reg := blockRegion(bx, by, bz, ub)
+			if reg.Clip(roi).Empty() {
+				continue
+			}
+			grid.CopyRegionOverlap(out.Data, roi, bl[k].Data, reg)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, grid.Region{}, err
+	}
+	return out, roi, nil
+}
+
+// Dataset assembles a whole member from cached batches: structurally
+// equal to archive.Reader.Extract(mi), with every level grid
+// byte-identical. The levels share the reader's occupancy masks, which
+// must not be mutated.
+func (s *Server) Dataset(name string, mi int) (*amr.Dataset, error) {
+	sa, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sa.member(mi)
+	if err != nil {
+		return nil, err
+	}
+	ds := &amr.Dataset{Name: m.Name, Field: m.Field, Ratio: m.Ratio}
+	for li := range m.Levels {
+		g, idx, err := s.Level(name, mi, li)
+		if err != nil {
+			return nil, err
+		}
+		ds.Levels = append(ds.Levels, &amr.Level{Grid: g, UnitBlock: idx.UnitBlock, Mask: idx.Mask})
+	}
+	return ds, nil
+}
+
+// blockRegion is the cell-space region of unit block (bx,by,bz).
+func blockRegion(bx, by, bz, ub int) grid.Region {
+	return grid.Region{
+		X0: bx * ub, Y0: by * ub, Z0: bz * ub,
+		X1: (bx + 1) * ub, Y1: (by + 1) * ub, Z1: (bz + 1) * ub,
+	}
+}

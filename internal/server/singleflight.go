@@ -1,0 +1,56 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// errFillPanicked is what waiters of a collapsed call observe when the
+// executing fill panicked: the panic propagates on the executing
+// goroutine (net/http turns it into a 500 for that one request), and
+// everyone who piggybacked gets a real error instead of a zero value.
+var errFillPanicked = errors.New("server: singleflight fill panicked")
+
+// group collapses concurrent calls with the same key into one execution:
+// the first caller runs fn, everyone else arriving before it finishes
+// blocks and shares the result. The cache uses it so that N simultaneous
+// requests for the same uncached frame decode it exactly once instead of
+// N times — under a thundering herd the decode cost per frame is O(1),
+// not O(requests).
+type group[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+}
+
+// Do executes fn once per key at a time, returning the shared result and
+// whether this caller piggybacked on another's execution.
+func (g *group[K, V]) Do(key K, fn func() (V, error)) (v V, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[K]*flightCall[V])
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, true, c.err
+	}
+	c := &flightCall[V]{err: errFillPanicked}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		c.wg.Done()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+	}()
+	c.val, c.err = fn()
+	return c.val, false, c.err
+}

@@ -514,6 +514,14 @@ type BatchInfo struct {
 	QuantBits   int
 }
 
+// DecodedBytes returns the in-memory footprint of the batch once decoded
+// at elemBytes per cell. Cache admission and byte budgeting (the serving
+// layer's block-batch LRU) use it to cost a frame before or without
+// decoding it.
+func (bi BatchInfo) DecodedBytes(elemBytes int) int64 {
+	return int64(bi.Blocks) * int64(bi.BlockDims.Count()) * int64(elemBytes)
+}
+
 // PeekBatch parses only the header of a CompressBlocks payload, letting
 // callers (the archive reader, listings) validate geometry or report the
 // applied bound without paying for entropy decoding.
