@@ -33,6 +33,7 @@ type report struct {
 	Entropy    experiments.EntropyBenchResult `json:"entropy"`
 	Predict    experiments.PredictBenchResult `json:"predict"`
 	Serve      experiments.ServeBenchResult   `json:"serve"`
+	Ingest     experiments.IngestBenchResult  `json:"ingest"`
 	TotalSecs  float64                        `json:"total_seconds"`
 }
 
@@ -98,6 +99,11 @@ func main() {
 			log.Fatalf("serve bench: %v", err)
 		}
 		rep.Serve = srv
+		ing, err := experiments.IngestBench(env)
+		if err != nil {
+			log.Fatalf("ingest bench: %v", err)
+		}
+		rep.Ingest = ing
 		rep.TotalSecs = time.Since(start).Seconds()
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -118,6 +124,8 @@ func main() {
 			pred.Cells, pred.EncodeMBps, pred.DecodeMBps)
 		fmt.Printf("[serve: %d reqs x%d, %.0f req/s, %.1f MB/s served, cache hit ratio %.2f (%d decodes)]\n",
 			srv.Requests, srv.Concurrency, srv.RequestsPerSec, srv.ServedMBps, srv.CacheHitRatio, srv.Decodes)
+		fmt.Printf("[ingest: %d snapshots, %.1f MB/s ingested (%.1f snap/s) with %d readers pulling %.1f MB/s, gen %d, reopened %d members]\n",
+			ing.Snapshots, ing.IngestMBps, ing.SnapshotsPerS, ing.Readers, ing.ReadMBps, ing.Generation, ing.ReopenedMember)
 	}
 	fmt.Printf("\n[benchall completed in %v at scale 1/%d]\n", time.Since(start).Round(time.Second), *scale)
 }

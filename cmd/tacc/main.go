@@ -9,7 +9,7 @@
 //	tacc decompress in.tacz out.amr
 //	tacc info       in.amr
 //	tacc verify     [-codec TAC] [-eb 1e9] [-rel] in.amr    (round-trip check)
-//	tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] out.taca in.amr...
+//	tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] [-append] out.taca in.amr...
 //	tacc ls         in.taca
 //	tacc extract    [-member 0] [-level -1] [-roi x0:x1,y0:y1,z0:z1] in.taca out.amr
 //
@@ -120,7 +120,7 @@ func usage() {
   tacc info       in.amr
   tacc verify     [-codec ...] [-eb ...] [-rel] in.amr
   tacc errmap     [-codec ...] [-eb ...] [-rel] [-level 0] [-slice -1] in.amr out.png
-  tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] out.taca in.amr...
+  tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] [-append] out.taca in.amr...
   tacc ls         in.taca
   tacc extract    [-member 0] [-level -1] [-roi x0:x1,y0:y1,z0:z1] in.taca out.amr`)
 	os.Exit(2)
@@ -266,7 +266,11 @@ func verify(args []string) {
 }
 
 // archiveCmd compresses a sequence of .amr snapshots into one seekable
-// .taca archive, streaming each member out as it is compressed.
+// .taca archive, streaming each member out as it is compressed. With
+// -append the archive is grown in place: new members land after the
+// existing committed generation (a torn tail from an earlier crash is
+// truncated first), and the commit ordering keeps the file openable at
+// every instant.
 func archiveCmd(args []string) {
 	fs := flag.NewFlagSet("archive", flag.ExitOnError)
 	eb := fs.Float64("eb", 1e9, "error bound")
@@ -274,6 +278,7 @@ func archiveCmd(args []string) {
 	scales := fs.String("scales", "", "per-level error-bound multipliers, fine to coarse")
 	workers := fs.Int("workers", -1, "compression workers per level (-1 = all CPUs)")
 	batch := fs.Int("batch", archive.DefaultBatchBlocks, "unit blocks per seekable frame")
+	appendTo := fs.Bool("append", false, "append to an existing archive instead of creating it")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -288,18 +293,34 @@ func archiveCmd(args []string) {
 	if *scales != "" {
 		cfg.LevelScales = parseScales(*scales)
 	}
-	f, err := os.Create(rest[0])
-	if err != nil {
-		log.Fatal(err)
+	var (
+		f    *os.File
+		w    *archive.Writer
+		err  error
+		base int
+	)
+	if *appendTo {
+		w, f, err = archive.OpenAppendFile(rest[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		base = len(w.Members())
+	} else {
+		f, err = os.Create(rest[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err = archive.NewWriter(f)
+		if err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
 	}
 	defer f.Close()
-	w, err := archive.NewWriter(f)
-	if err != nil {
-		log.Fatal(err)
-	}
 	w.BatchBlocks = *batch
 	t0 := time.Now()
 	var orig int64
+	startOff := w.Stats().BytesWritten
 	for _, path := range rest[1:] {
 		ds, err := amr.Load(path)
 		if err != nil {
@@ -318,9 +339,15 @@ func archiveCmd(args []string) {
 	}
 	dt := time.Since(t0)
 	st := w.Stats()
-	fmt.Printf("%s: %d members, %d -> %d bytes (CR %.1f) in %v (%.1f MB/s)\n",
-		rest[0], st.Members, orig, st.BytesWritten,
-		float64(orig)/float64(st.BytesWritten),
+	verb := ""
+	if *appendTo {
+		// Generation() counts commits; the file's newest trailer is
+		// stamped one less.
+		verb = fmt.Sprintf(" (+%d appended, generation %d)", st.Members-base, w.Generation()-1)
+	}
+	fmt.Printf("%s: %d members%s, %d -> %d bytes (CR %.1f) in %v (%.1f MB/s)\n",
+		rest[0], st.Members, verb, orig, st.BytesWritten-startOff,
+		float64(orig)/float64(st.BytesWritten-startOff),
 		dt.Round(time.Millisecond), float64(orig)/1e6/dt.Seconds())
 }
 

@@ -1,32 +1,46 @@
 // Command tacd serves TACA archives over HTTP: snapshot, level, and
 // region extraction with a sharded block-level LRU cache in front of the
 // pooled decoders, so a fleet of concurrent readers shares decode work
-// instead of repeating it.
+// instead of repeating it. Archives listed with -ingest are opened
+// read-write and accept live snapshot appends over POST.
 //
 // Usage:
 //
-//	tacd [-listen :8080] [-cache-mb 256] [-shards 16] [-workers 0] archive.taca [name=other.taca ...]
+//	tacd [-listen :8080] [-cache-mb 256] [-shards 16] [-workers 0]
+//	     [-ingest] [-ingest-queue 4] [-eb 0] archive.taca [name=other.taca ...]
 //
 // Each positional argument registers one archive, served under its base
 // name with the extension stripped (or an explicit name=path). Endpoints
 // (see internal/server for the full table):
 //
-//	GET /archives
-//	GET /a/{name}
-//	GET /a/{name}/snap/{i}
-//	GET /a/{name}/snap/{i}/amr
-//	GET /a/{name}/snap/{i}/level/{l}[?roi=x0:x1,y0:y1,z0:z1]
-//	GET /stats
-//	GET /healthz
+//	GET  /archives
+//	GET  /a/{name}
+//	GET  /a/{name}/snap/{i}
+//	GET  /a/{name}/snap/{i}/amr
+//	GET  /a/{name}/snap/{i}/level/{l}[?roi=x0:x1,y0:y1,z0:z1]
+//	POST /a/{name}/ingest        (with -ingest)
+//	GET  /stats
+//	GET  /healthz
+//
+// On SIGINT/SIGTERM tacd drains gracefully: /healthz flips to 503 so
+// load balancers stop routing here, in-flight requests and queued
+// ingests finish, ingest archives are committed and sealed, then the
+// process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"repro/internal/codec"
 	"repro/internal/server"
 )
 
@@ -37,8 +51,12 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 256, "decoded block-batch cache budget in MiB")
 	shards := flag.Int("shards", server.DefaultCacheShards, "cache shard count")
 	workers := flag.Int("workers", 0, "per-request batch fan-out (0 = GOMAXPROCS, 1 = serial)")
+	ingest := flag.Bool("ingest", false, "open archives read-write and accept POST /a/{name}/ingest")
+	ingestQueue := flag.Int("ingest-queue", server.DefaultIngestQueue, "queued snapshots per archive before 429s")
+	eb := flag.Float64("eb", 0, "error bound for ingested snapshots (0 = inherit from the archive's newest member)")
+	drainWait := flag.Duration("drain-wait", 30*time.Second, "graceful shutdown budget for in-flight requests")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: tacd [-listen :8080] [-cache-mb 256] [-shards 16] [-workers 0] archive.taca [name=other.taca ...]")
+		fmt.Fprintln(os.Stderr, "usage: tacd [-listen :8080] [-cache-mb 256] [-shards 16] [-workers 0] [-ingest] archive.taca [name=other.taca ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -51,18 +69,53 @@ func main() {
 		CacheBytes:  *cacheMB << 20,
 		CacheShards: *shards,
 		Workers:     *workers,
+		IngestQueue: *ingestQueue,
 	})
-	defer s.Close()
 	for _, spec := range flag.Args() {
-		name, err := s.AddFile(spec)
+		var name string
+		var err error
+		if *ingest {
+			name, err = s.AddAppendFile(spec, codec.Config{ErrorBound: *eb, Workers: -1})
+		} else {
+			name, err = s.AddFile(spec)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("serving %s as /a/%s", spec, name)
+		mode := "ro"
+		if *ingest {
+			mode = "rw"
+		}
+		log.Printf("serving %s as /a/%s (%s)", spec, name, mode)
 	}
 	log.Printf("listening on %s (%d archives, cache %d MiB / %d shards)",
 		*listen, len(s.Names()), *cacheMB, *shards)
-	if err := http.ListenAndServe(*listen, s.Handler()); err != nil {
+
+	srv := &http.Server{Addr: *listen, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		s.Close()
 		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("%s: draining (up to %s)", sig, *drainWait)
 	}
+
+	// Drain order matters: flip healthz first so balancers stop sending
+	// traffic, let the listener finish in-flight requests (including
+	// ingests waiting on their commit), then seal the archives.
+	s.SetDraining(true)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v (closing anyway)", err)
+	}
+	if err := s.Close(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("sealing archives: %v", err)
+	}
+	log.Print("drained")
 }

@@ -26,6 +26,20 @@
 // the footer's occupancy masks fully determine which blocks the i-th
 // batch of a level covers, so the index costs one bit per unit block plus
 // two varints per batch.
+//
+// Append and crash safety: an archive grows by appending — new frames go
+// after the previous footer+trailer (which are left intact), and the
+// grown archive is committed by writing a fresh footer over all members
+// followed by a generation-stamped trailer
+//
+//	trailer₂  uint64 LE footer length + uint64 LE generation + "TACAEND2"
+//
+// with fsync ordering (frames durable before the trailer is written, the
+// trailer durable before the commit is acknowledged). Nothing is ever
+// overwritten, so a crash at any byte offset leaves the previous
+// generation's footer valid: Open first parses the trailer at EOF and, if
+// the tail is torn, scans backward for the newest committed generation,
+// ignoring (or, in OpenAppend, truncating) the torn tail.
 package archive
 
 import (
@@ -46,13 +60,15 @@ const (
 	// enough that a region query decodes little beyond its footprint.
 	DefaultBatchBlocks = 64
 
-	headerLen  = 5 // "TACA" + version byte
-	trailerLen = 16
+	headerLen   = 5  // "TACA" + version byte
+	trailerLen  = 16 // generation-0 trailer: footer length + magic
+	trailer2Len = 24 // appended generations: footer length + generation + magic
 )
 
 var (
-	headerMagic  = [4]byte{'T', 'A', 'C', 'A'}
-	trailerMagic = [8]byte{'T', 'A', 'C', 'A', 'E', 'N', 'D', '1'}
+	headerMagic   = [4]byte{'T', 'A', 'C', 'A'}
+	trailerMagic  = [8]byte{'T', 'A', 'C', 'A', 'E', 'N', 'D', '1'}
+	trailer2Magic = [8]byte{'T', 'A', 'C', 'A', 'E', 'N', 'D', '2'}
 )
 
 // BatchRecord locates one block-batch frame in the archive.
@@ -289,6 +305,13 @@ func decodeFooter(buf []byte) ([]Member, error) {
 			if li.UnitBlock <= 0 || li.Dims.Count() <= 0 || li.Dims.Count() > 1<<31 ||
 				li.Dims.X%li.UnitBlock != 0 || li.Dims.Y%li.UnitBlock != 0 || li.Dims.Z%li.UnitBlock != 0 {
 				return nil, fmt.Errorf("archive: member %d level %d has corrupt geometry %v/%d", mi, liIdx, li.Dims, li.UnitBlock)
+			}
+			// Bound the unit-block count separately: a hostile footer
+			// claiming 2^31 cells at unit block 1 would otherwise make
+			// DecodeMask allocate a 256 MiB mask before any cross-check.
+			ub3 := li.UnitBlock * li.UnitBlock * li.UnitBlock
+			if li.Dims.Count()/ub3 > 1<<26 {
+				return nil, fmt.Errorf("archive: member %d level %d has implausible %d unit blocks", mi, liIdx, li.Dims.Count()/ub3)
 			}
 			comp, err := bs()
 			if err != nil {

@@ -1,0 +1,110 @@
+package archive
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/amr"
+	"repro/internal/codec"
+	"repro/internal/sim"
+)
+
+// FuzzOpen throws mutated archive bytes — seeded with fresh,
+// appended/multi-generation, and torn-tail archives so the
+// generation-stamped trailer and the recovery scan are both in the
+// corpus — at the full open path: trailer parse, recovery scan, footer
+// decode, frame-bounds validation. Open must never panic, and any Reader
+// it does return must hold an index whose every batch decodes or fails
+// cleanly.
+func FuzzOpen(f *testing.F) {
+	dir := f.TempDir()
+	path := filepath.Join(dir, "seed.taca")
+	mkSnap := func(name string, seed int64) *amr.Dataset {
+		ds, err := sim.Generate(sim.Spec{
+			Name: name, FinestN: 16, Levels: 2, UnitBlock: 4,
+			Seed: seed, LeafFractions: []float64{0.3, 0.7},
+		}, sim.BaryonDensity)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return ds
+	}
+
+	// Seed 1: a single-generation archive.
+	writeSeedArchive(f, path, mkSnap("s0", 1))
+	gen0, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(gen0)
+
+	// Seeds 2-3: two appended generations, and a torn tail mid-append.
+	for i := 1; i <= 2; i++ {
+		w, fl, err := OpenAppendFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := w.AddDataset(mkSnap("s"+string(rune('0'+i)), int64(i+1)), codec.Config{ErrorBound: 1e9}); err != nil {
+			f.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			f.Fatal(err)
+		}
+		fl.Close()
+	}
+	multi, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(multi)
+	f.Add(multi[:len(gen0)+(len(multi)-len(gen0))/2]) // torn second append
+	f.Add(multi[:len(multi)-5])                       // torn trailer
+	f.Add([]byte("TACA\x01 not really an archive TACAEND1"))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) > 1<<20 {
+			return
+		}
+		r, err := Open(bytes.NewReader(b), int64(len(b)))
+		if err != nil {
+			return
+		}
+		if r.EndOffset() > int64(len(b)) {
+			t.Fatalf("recovered end %d past input size %d", r.EndOffset(), len(b))
+		}
+		for mi := range r.Members() {
+			m := &r.Members()[mi]
+			if m.StoredCells() > 1<<22 {
+				continue // cap per-member work; geometry was already validated
+			}
+			for li := range m.Levels {
+				for bi := range m.Levels[li].Batches {
+					_, _ = r.DecodeBatch(mi, li, bi) // must not panic
+				}
+			}
+		}
+	})
+}
+
+func writeSeedArchive(f *testing.F, path string, snaps ...*amr.Dataset) {
+	fl, err := os.Create(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer fl.Close()
+	w, err := NewWriter(fl)
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.BatchBlocks = 8
+	for _, ds := range snaps {
+		if err := w.AddDataset(ds, codec.Config{ErrorBound: 1e9}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+}

@@ -32,15 +32,36 @@ type Reader struct {
 	Workers int
 
 	r       io.ReaderAt
-	size    int64
+	size    int64 // end of the generation this Reader parsed, ≤ the file size
+	gen     uint64
 	members []Member
 }
 
 // Open reads and parses the archive index from r, which must cover size
-// bytes.
+// bytes. If the tail of the file is torn — a crash mid-append left a
+// partial frame or footer after the last committed generation — Open
+// recovers: it scans backward for the newest committed trailer and serves
+// that generation, ignoring the torn tail (OpenAppend additionally
+// truncates it). An archive whose newest commit is intact always parses
+// without any scanning.
 func Open(r io.ReaderAt, size int64) (*Reader, error) {
-	if size < headerLen+trailerLen {
-		return nil, fmt.Errorf("archive: %d bytes is too short for a TACA archive", size)
+	rd, err := openAt(r, size)
+	if err == nil || !errors.Is(err, ErrCorrupt) {
+		return rd, err
+	}
+	// The exact tail is damaged. Every committed generation ends with a
+	// trailer; the newest valid one wins.
+	if rd, _, rerr := recoverScan(r, size); rerr == nil {
+		return rd, nil
+	}
+	return nil, err
+}
+
+// openAt strictly parses the archive whose newest trailer ends exactly at
+// end.
+func openAt(r io.ReaderAt, end int64) (*Reader, error) {
+	if end < headerLen+trailerLen {
+		return nil, fmt.Errorf("archive: %d bytes is too short for a TACA archive", end)
 	}
 	hdr := make([]byte, headerLen)
 	if _, err := r.ReadAt(hdr, 0); err != nil {
@@ -52,29 +73,51 @@ func Open(r io.ReaderAt, size int64) (*Reader, error) {
 	if hdr[4] != Version {
 		return nil, fmt.Errorf("archive: unsupported version %d", hdr[4])
 	}
-	trailer := make([]byte, trailerLen)
-	if _, err := r.ReadAt(trailer, size-trailerLen); err != nil {
+	magic := make([]byte, 8)
+	if _, err := r.ReadAt(magic, end-8); err != nil {
 		return nil, fmt.Errorf("archive: reading trailer: %w", err)
 	}
-	if [8]byte(trailer[8:]) != trailerMagic {
-		return nil, fmt.Errorf("archive: %w: bad trailer magic %q", ErrCorrupt, trailer[8:])
+	var tlen int64
+	var gen uint64
+	switch [8]byte(magic) {
+	case trailerMagic:
+		tlen = trailerLen
+	case trailer2Magic:
+		tlen = trailer2Len
+		if end < headerLen+trailer2Len {
+			return nil, fmt.Errorf("archive: %w: %d bytes is too short for a generation trailer", ErrCorrupt, end)
+		}
+	default:
+		return nil, fmt.Errorf("archive: %w: bad trailer magic %q", ErrCorrupt, magic)
+	}
+	trailer := make([]byte, tlen)
+	if _, err := r.ReadAt(trailer, end-tlen); err != nil {
+		return nil, fmt.Errorf("archive: reading trailer: %w", err)
 	}
 	var flen uint64
 	for i := 7; i >= 0; i-- {
 		flen = flen<<8 | uint64(trailer[i])
 	}
-	if flen > uint64(size-headerLen-trailerLen) {
-		return nil, fmt.Errorf("archive: %w: footer length %d exceeds file size %d", ErrCorrupt, flen, size)
+	if tlen == trailer2Len {
+		for i := 7; i >= 0; i-- {
+			gen = gen<<8 | uint64(trailer[8+i])
+		}
+		if gen == 0 {
+			return nil, fmt.Errorf("archive: %w: generation trailer claims generation 0", ErrCorrupt)
+		}
+	}
+	if flen > uint64(end-headerLen-tlen) {
+		return nil, fmt.Errorf("archive: %w: footer length %d exceeds file size %d", ErrCorrupt, flen, end)
 	}
 	footer := make([]byte, flen)
-	if _, err := r.ReadAt(footer, size-trailerLen-int64(flen)); err != nil {
+	if _, err := r.ReadAt(footer, end-tlen-int64(flen)); err != nil {
 		return nil, fmt.Errorf("archive: %w: reading footer: %w", ErrCorrupt, err)
 	}
 	members, err := decodeFooter(footer)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
-	dataEnd := size - trailerLen - int64(flen)
+	dataEnd := end - tlen - int64(flen)
 	for mi := range members {
 		for li := range members[mi].Levels {
 			for _, b := range members[mi].Levels[li].Batches {
@@ -84,7 +127,55 @@ func Open(r io.ReaderAt, size int64) (*Reader, error) {
 			}
 		}
 	}
-	return &Reader{r: r, size: size, members: members}, nil
+	return &Reader{r: r, size: end, gen: gen, members: members}, nil
+}
+
+// recoverScan searches backward from size for the newest end-of-trailer
+// position whose generation parses completely, returning its Reader and
+// end offset. The scan is the crash-recovery slow path: it only runs when
+// the trailer at EOF is torn, and the previous generation's trailer — left
+// intact because append never overwrites committed bytes — is normally
+// found within the first chunk.
+func recoverScan(r io.ReaderAt, size int64) (*Reader, int64, error) {
+	const chunk = 64 << 10
+	// Candidate ends strictly before size: size itself was already tried.
+	for hi := size - 1; hi > headerLen; hi -= chunk {
+		lo := hi - chunk
+		if lo < headerLen {
+			lo = headerLen
+		}
+		// Overlap by 7 bytes so a magic straddling the chunk boundary is
+		// still seen by exactly one window.
+		winEnd := hi + 7
+		if winEnd > size {
+			winEnd = size
+		}
+		win := make([]byte, winEnd-lo)
+		if n, err := r.ReadAt(win, lo); err != nil && err != io.EOF {
+			return nil, 0, fmt.Errorf("archive: %w: recovery scan read: %w", ErrCorrupt, err)
+		} else if int64(n) < winEnd-lo {
+			win = win[:n]
+		}
+		for i := len(win) - 8; i >= 0; i-- {
+			if win[i] != 'T' {
+				continue
+			}
+			m := [8]byte(win[i : i+8])
+			if m != trailerMagic && m != trailer2Magic {
+				continue
+			}
+			end := lo + int64(i) + 8
+			if end >= size || end > hi+8 {
+				// First guard: already tried. Second: the magic starts in
+				// the overlap tail owned by the next-higher window.
+				continue
+			}
+			if rd, err := openAt(r, end); err == nil {
+				return rd, end, nil
+			}
+		}
+	}
+	return nil, 0, fmt.Errorf("archive: %w: no committed generation found", ErrCorrupt)
 }
 
 // FileReader is a Reader backed by an opened file.
@@ -119,6 +210,17 @@ func OpenFile(path string) (*FileReader, error) {
 // Members returns the archive index (shared, not copied — callers must not
 // mutate).
 func (r *Reader) Members() []Member { return r.members }
+
+// Generation returns the footer generation this Reader parsed: 0 for an
+// archive that has never been appended to, k for the k-th committed
+// append.
+func (r *Reader) Generation() uint64 { return r.gen }
+
+// EndOffset returns the byte offset just past the trailer of the parsed
+// generation. It equals the file size unless Open recovered from a torn
+// tail, in which case the bytes at [EndOffset, size) are the wreckage of
+// an uncommitted append.
+func (r *Reader) EndOffset() int64 { return r.size }
 
 // Find returns the index of the member with the given name and field, or
 // -1. An empty field matches the first member with the name.

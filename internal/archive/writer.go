@@ -3,6 +3,7 @@ package archive
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,10 +38,14 @@ type Writer struct {
 	BatchBlocks int
 
 	w       io.Writer
-	off     int64 // bytes emitted so far == next frame's offset
+	file    *os.File // non-nil for append-mode writers: enables Commit's fsync ordering
+	off     int64    // bytes emitted so far == next frame's offset
 	members []Member
 	cur     *MemberWriter
 	closed  bool
+
+	committed uint64 // footer generations written so far (== next trailer's generation)
+	dirty     bool   // members sealed since the last Commit
 
 	gatheredCells atomic.Int64 // cells currently gathered, pre-compression
 	peakGathered  atomic.Int64
@@ -296,12 +301,104 @@ func (mw *MemberWriter) Close() error {
 		return fmt.Errorf("archive: member %q has no levels", mw.member.Name)
 	}
 	mw.w.members = append(mw.w.members, mw.member)
+	mw.w.dirty = true
 	mw.w.cur = nil
 	return nil
 }
 
-// Close writes the footer index and trailer. The underlying io.Writer is
-// not closed. After Close the Writer rejects further members.
+// Abort discards the member without adding it to the index, releasing the
+// Writer for the next BeginMember. Frames the member already streamed out
+// stay in the file as dead bytes — they are never referenced by a footer,
+// so they cost space, not correctness — which is what makes Abort safe to
+// call after a mid-member compression failure in a long-lived appender.
+func (mw *MemberWriter) Abort() {
+	if mw.done {
+		return
+	}
+	mw.done = true
+	if mw.w.cur == mw {
+		mw.w.cur = nil
+	}
+}
+
+// Members returns the index as committed-plus-sealed so far (shared, not
+// copied — callers must not mutate).
+func (w *Writer) Members() []Member { return w.members }
+
+// Generation returns the number of footer generations committed so far:
+// 0 before the first Commit/Close, and thereafter one more than the
+// generation recorded in the newest trailer.
+func (w *Writer) Generation() uint64 { return w.committed }
+
+// Commit makes every member added so far readable: it writes a fresh
+// footer over the full index followed by a trailer, and leaves the Writer
+// open for more members (which are laid down after the trailer — committed
+// bytes are never overwritten). For file-backed writers (OpenAppend) the
+// ordering is crash-safe: frames are fsynced before the footer is written
+// and the trailer is fsynced before Commit returns, so a crash at any
+// byte offset leaves the previous committed generation's footer intact
+// and the archive openable.
+//
+// Generation 0 (a fresh archive's first commit) writes the 16-byte v1
+// trailer, byte-identical to archives written before append existed;
+// later generations write the 24-byte generation-stamped trailer.
+func (w *Writer) Commit() error {
+	if w.closed {
+		return fmt.Errorf("archive: writer is closed")
+	}
+	if w.cur != nil {
+		return fmt.Errorf("archive: member %q still open", w.cur.member.Name)
+	}
+	footer, err := encodeFooter(w.members)
+	if err != nil {
+		return err
+	}
+	if w.file != nil {
+		// Frames must be durable before any trailer that indexes them.
+		if err := w.file.Sync(); err != nil {
+			return fmt.Errorf("archive: syncing frames: %w", err)
+		}
+	}
+	if _, err := w.w.Write(footer); err != nil {
+		return fmt.Errorf("archive: writing footer: %w", err)
+	}
+	flen := uint64(len(footer))
+	var trailer []byte
+	if w.committed == 0 {
+		trailer = make([]byte, 0, trailerLen)
+		for i := 0; i < 8; i++ {
+			trailer = append(trailer, byte(flen>>(8*i)))
+		}
+		trailer = append(trailer, trailerMagic[:]...)
+	} else {
+		trailer = make([]byte, 0, trailer2Len)
+		for i := 0; i < 8; i++ {
+			trailer = append(trailer, byte(flen>>(8*i)))
+		}
+		for i := 0; i < 8; i++ {
+			trailer = append(trailer, byte(w.committed>>(8*i)))
+		}
+		trailer = append(trailer, trailer2Magic[:]...)
+	}
+	if _, err := w.w.Write(trailer); err != nil {
+		return fmt.Errorf("archive: writing trailer: %w", err)
+	}
+	if w.file != nil {
+		// The commit point: once the trailer bytes are durable the new
+		// generation wins; until then the previous one does.
+		if err := w.file.Sync(); err != nil {
+			return fmt.Errorf("archive: syncing trailer: %w", err)
+		}
+	}
+	w.off += int64(len(footer)) + int64(len(trailer))
+	w.committed++
+	w.dirty = false
+	return nil
+}
+
+// Close commits any members added since the last Commit (or the whole
+// archive, if never committed) and seals the Writer against further use.
+// The underlying io.Writer / file is not closed.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
@@ -309,23 +406,11 @@ func (w *Writer) Close() error {
 	if w.cur != nil {
 		return fmt.Errorf("archive: member %q still open", w.cur.member.Name)
 	}
+	if w.dirty || w.committed == 0 {
+		if err := w.Commit(); err != nil {
+			return err
+		}
+	}
 	w.closed = true
-	footer, err := encodeFooter(w.members)
-	if err != nil {
-		return err
-	}
-	if _, err := w.w.Write(footer); err != nil {
-		return fmt.Errorf("archive: writing footer: %w", err)
-	}
-	trailer := make([]byte, 0, trailerLen)
-	n := uint64(len(footer))
-	for i := 0; i < 8; i++ {
-		trailer = append(trailer, byte(n>>(8*i)))
-	}
-	trailer = append(trailer, trailerMagic[:]...)
-	if _, err := w.w.Write(trailer); err != nil {
-		return fmt.Errorf("archive: writing trailer: %w", err)
-	}
-	w.off += int64(len(footer)) + trailerLen
 	return nil
 }

@@ -20,22 +20,31 @@ import (
 
 // Handler returns the HTTP API:
 //
-//	GET /healthz                                 liveness probe
-//	GET /stats                                   cache + registry counters (JSON)
-//	GET /archives                                registered archives (JSON)
-//	GET /a/{name}                                member listing (JSON)
-//	GET /a/{name}/snap/{i}                       one member's level geometry (JSON)
-//	GET /a/{name}/snap/{i}/amr                   whole snapshot, .amr stream
-//	GET /a/{name}/snap/{i}/level/{l}             dense level grid, raw float32 LE
-//	GET /a/{name}/snap/{i}/level/{l}?roi=x0:x1,y0:y1,z0:z1
+//	GET  /healthz                                liveness probe ("ok", or 503 "draining")
+//	GET  /stats                                  cache + ingest + registry counters (JSON)
+//	GET  /archives                               registered archives (JSON)
+//	GET  /a/{name}                               member listing (JSON)
+//	GET  /a/{name}/snap/{i}                      one member's level geometry (JSON)
+//	GET  /a/{name}/snap/{i}/amr                  whole snapshot, .amr stream
+//	GET  /a/{name}/snap/{i}/level/{l}            dense level grid, raw float32 LE
+//	GET  /a/{name}/snap/{i}/level/{l}?roi=x0:x1,y0:y1,z0:z1
 //	                                             dense window of the level (level cells)
+//	POST /a/{name}/ingest                        append one .amr snapshot (writable archives)
 //
 // Binary responses carry the payload geometry in X-Tac-* headers and are
 // gzip-compressed when the client advertises Accept-Encoding: gzip.
+// Ingest bodies are .amr streams (amr.Dataset.Write), optionally
+// gzip-compressed with Content-Encoding: gzip; a full ingest queue
+// answers 429 with a Retry-After hint.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -44,6 +53,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /a/{name}/snap/{snap}", s.handleSnap)
 	mux.HandleFunc("GET /a/{name}/snap/{snap}/amr", s.handleSnapAMR)
 	mux.HandleFunc("GET /a/{name}/snap/{snap}/level/{level}", s.handleLevel)
+	mux.HandleFunc("POST /a/{name}/ingest", s.handleIngest)
 	return mux
 }
 
@@ -57,6 +67,14 @@ func httpError(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, ErrBadRequest):
 		code = http.StatusBadRequest
+	case errors.Is(err, ErrReadOnly):
+		code = http.StatusMethodNotAllowed
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		code = http.StatusServiceUnavailable
 	}
 	http.Error(w, err.Error(), code)
 }
@@ -81,10 +99,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// hits/(hits+misses) of the counters in the same body.
 	st := s.cache.Stats()
 	writeJSON(w, struct {
-		Archives []string   `json:"archives"`
-		Cache    CacheStats `json:"cache"`
-		HitRatio float64    `json:"cache_hit_ratio"`
-	}{s.Names(), st, st.HitRatio()})
+		Archives []string    `json:"archives"`
+		Cache    CacheStats  `json:"cache"`
+		HitRatio float64     `json:"cache_hit_ratio"`
+		Ingest   IngestStats `json:"ingest"`
+		Draining bool        `json:"draining"`
+	}{s.Names(), st, st.HitRatio(), s.IngestStats(), s.Draining()})
 }
 
 func (s *Server) handleArchives(w http.ResponseWriter, r *http.Request) {
@@ -95,8 +115,9 @@ func (s *Server) handleArchives(w http.ResponseWriter, r *http.Request) {
 			continue // racing Close; skip
 		}
 		info := archiveInfo{Name: name}
-		for mi := range sa.r.Members() {
-			m := &sa.r.Members()[mi]
+		members := sa.reader().Members()
+		for mi := range members {
+			m := &members[mi]
 			info.Members++
 			info.CompressedBytes += m.CompressedBytes()
 			info.OriginalBytes += m.OriginalBytes()
@@ -126,7 +147,7 @@ func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	members := sa.r.Members()
+	members := sa.reader().Members()
 	out := make([]memberInfo, len(members))
 	for mi := range members {
 		m := &members[mi]
@@ -163,7 +184,7 @@ func (s *Server) snapArgs(r *http.Request) (*servedArchive, int, *archive.Member
 	if err != nil {
 		return nil, 0, nil, fmt.Errorf("server: %w: snapshot index %q is not a number", ErrBadRequest, r.PathValue("snap"))
 	}
-	m, err := sa.member(mi)
+	m, err := sa.member(sa.view(), mi)
 	if err != nil {
 		return nil, 0, nil, err
 	}

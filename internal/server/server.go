@@ -40,6 +40,7 @@ import (
 const (
 	DefaultCacheBytes  = 256 << 20 // 256 MiB of decoded batches
 	DefaultCacheShards = 16
+	DefaultIngestQueue = 4
 )
 
 // Sentinels the HTTP layer maps to status codes (errors.Is); every
@@ -50,6 +51,14 @@ var (
 	ErrNotFound = errors.New("not found")
 	// ErrBadRequest tags malformed or out-of-range request parameters.
 	ErrBadRequest = errors.New("bad request")
+	// ErrReadOnly tags ingest attempts on archives not opened for append.
+	ErrReadOnly = errors.New("archive is read-only")
+	// ErrBusy tags ingest attempts rejected by a full queue (backpressure;
+	// the HTTP layer answers 429 with Retry-After).
+	ErrBusy = errors.New("ingest queue full")
+	// ErrDraining tags requests refused because the server is shutting
+	// down.
+	ErrDraining = errors.New("server is draining")
 )
 
 // Config parameterizes a Server.
@@ -63,17 +72,57 @@ type Config struct {
 	// Workers bounds the per-request batch fan-out during level and
 	// region assembly; 0 means GOMAXPROCS, 1 assembles serially.
 	Workers int
+	// IngestQueue bounds the snapshots queued (per writable archive)
+	// behind the one being compressed; an arriving ingest finding the
+	// queue full is rejected with ErrBusy. 0 means DefaultIngestQueue.
+	IngestQueue int
 }
 
-// servedArchive is one registered archive: the shared Reader plus the
-// precomputed per-level ordinal tables (OccupiedIndices is O(mask) per
-// call, so it is paid once at registration, not per request).
+// archiveState is the immutable per-generation view of one archive: the
+// Reader over a committed footer plus the precomputed per-level ordinal
+// tables (OccupiedIndices is O(mask) per call, so it is paid once per
+// commit, not per request). Ingest swaps in a fresh state atomically;
+// requests that already loaded the old one keep serving from it, which
+// stays correct because committed bytes are never overwritten and member
+// indices are append-only.
+type archiveState struct {
+	r    *archive.Reader
+	ords [][][]int // [member][level] -> occupied block indices
+}
+
+// newArchiveState builds the view for r, reusing prev's ordinal tables
+// for the members both generations share.
+func newArchiveState(r *archive.Reader, prev *archiveState) *archiveState {
+	members := r.Members()
+	st := &archiveState{r: r, ords: make([][][]int, len(members))}
+	start := 0
+	if prev != nil {
+		start = copy(st.ords, prev.ords)
+	}
+	for mi := start; mi < len(members); mi++ {
+		levels := members[mi].Levels
+		st.ords[mi] = make([][]int, len(levels))
+		for li := range levels {
+			st.ords[mi][li] = levels[li].Mask.OccupiedIndices()
+		}
+	}
+	return st
+}
+
+// servedArchive is one registered archive: an atomically swappable view
+// plus, for archives opened for append, the ingester that grows it.
 type servedArchive struct {
 	name   string
-	r      *archive.Reader
 	closer io.Closer
-	ords   [][][]int // [member][level] -> occupied block indices
+	state  atomic.Pointer[archiveState]
+	ing    *ingester // non-nil iff the archive accepts POST ingest
 }
+
+// view pins the current generation for the duration of one operation.
+func (sa *servedArchive) view() *archiveState { return sa.state.Load() }
+
+// reader returns the current generation's Reader (listing handlers).
+func (sa *servedArchive) reader() *archive.Reader { return sa.view().r }
 
 // Server routes extraction requests across its registered archives. Add
 // archives before serving; the registry itself is guarded, so late
@@ -81,6 +130,8 @@ type servedArchive struct {
 type Server struct {
 	cfg   Config
 	cache *Cache
+
+	draining atomic.Bool
 
 	mu       sync.RWMutex
 	archives map[string]*servedArchive
@@ -98,6 +149,9 @@ func New(cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.IngestQueue <= 0 {
+		cfg.IngestQueue = DefaultIngestQueue
+	}
 	return &Server{
 		cfg:      cfg,
 		cache:    NewCache(cfg.CacheBytes, cfg.CacheShards),
@@ -108,22 +162,27 @@ func New(cfg Config) *Server {
 // Cache exposes the block cache (stats endpoints, benchmarks, tests).
 func (s *Server) Cache() *Cache { return s.cache }
 
+// SetDraining flips the drain flag: while set, /healthz answers 503 and
+// new ingests are refused, while read traffic keeps being served. tacd
+// sets it on SIGTERM before http.Server.Shutdown so load balancers stop
+// routing here during the drain window.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the server is refusing new ingests.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Add registers an opened archive under name. closer, if non-nil, is
 // closed by Server.Close. Names must be unique and non-empty.
 func (s *Server) Add(name string, r *archive.Reader, closer io.Closer) error {
+	return s.add(name, r, closer, nil)
+}
+
+func (s *Server) add(name string, r *archive.Reader, closer io.Closer, ing *ingester) error {
 	if name == "" {
 		return fmt.Errorf("server: empty archive name")
 	}
-	sa := &servedArchive{name: name, r: r, closer: closer}
-	members := r.Members()
-	sa.ords = make([][][]int, len(members))
-	for mi := range members {
-		levels := members[mi].Levels
-		sa.ords[mi] = make([][]int, len(levels))
-		for li := range levels {
-			sa.ords[mi][li] = levels[li].Mask.OccupiedIndices()
-		}
-	}
+	sa := &servedArchive{name: name, closer: closer, ing: ing}
+	sa.state.Store(newArchiveState(r, nil))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.archives[name]; dup {
@@ -132,6 +191,10 @@ func (s *Server) Add(name string, r *archive.Reader, closer io.Closer) error {
 	s.archives[name] = sa
 	s.names = append(s.names, name)
 	sort.Strings(s.names)
+	if ing != nil {
+		ing.sa = sa
+		go ing.run()
+	}
 	return nil
 }
 
@@ -154,20 +217,28 @@ func (s *Server) AddFile(spec string) (string, error) {
 	return name, nil
 }
 
-// Close closes every registered archive that was added with a closer.
+// Close drains every ingester (queued snapshots finish compressing and
+// commit before the archive file is sealed and closed) and then closes
+// every registered archive that was added with a closer.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	archives := s.archives
+	s.archives = make(map[string]*servedArchive)
+	s.names = nil
+	s.mu.Unlock()
 	var first error
-	for _, sa := range s.archives {
+	for _, sa := range archives {
+		if sa.ing != nil {
+			if err := sa.ing.stop(); err != nil && first == nil {
+				first = err
+			}
+		}
 		if sa.closer != nil {
 			if err := sa.closer.Close(); err != nil && first == nil {
 				first = err
 			}
 		}
 	}
-	s.archives = make(map[string]*servedArchive)
-	s.names = nil
 	// Drop every cached batch: entries are keyed by archive name, so a
 	// later Add under a reused name must never serve blocks decoded from
 	// the old file.
@@ -193,9 +264,9 @@ func (s *Server) lookup(name string) (*servedArchive, error) {
 	return sa, nil
 }
 
-// member bounds-checks and resolves a member of an archive.
-func (sa *servedArchive) member(mi int) (*archive.Member, error) {
-	members := sa.r.Members()
+// member bounds-checks and resolves a member of one pinned generation.
+func (sa *servedArchive) member(st *archiveState, mi int) (*archive.Member, error) {
+	members := st.r.Members()
 	if mi < 0 || mi >= len(members) {
 		return nil, fmt.Errorf("server: %w: archive %q has no snapshot %d (have %d)", ErrNotFound, sa.name, mi, len(members))
 	}
@@ -203,10 +274,13 @@ func (sa *servedArchive) member(mi int) (*archive.Member, error) {
 }
 
 // batch returns the decoded blocks of one frame, from the cache or
-// decoded once via the pooled engines (concurrent misses collapse).
-func (s *Server) batch(sa *servedArchive, mi, li, b int) (blocks, error) {
+// decoded once via the pooled engines (concurrent misses collapse). The
+// cache key carries no generation: members are append-only and committed
+// frames immutable, so (member, level, batch) decodes identically under
+// every generation that contains it.
+func (s *Server) batch(sa *servedArchive, st *archiveState, mi, li, b int) (blocks, error) {
 	return s.cache.GetOrFill(Key{Archive: sa.name, Member: mi, Level: li, Batch: b}, func() (blocks, int64, error) {
-		v, err := sa.r.DecodeBatch(mi, li, b)
+		v, err := st.r.DecodeBatch(mi, li, b)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -267,7 +341,8 @@ func (s *Server) Level(name string, mi, li int) (*grid.Grid3[amr.Value], *archiv
 	if err != nil {
 		return nil, nil, err
 	}
-	m, err := sa.member(mi)
+	st := sa.view()
+	m, err := sa.member(st, mi)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -276,13 +351,13 @@ func (s *Server) Level(name string, mi, li int) (*grid.Grid3[amr.Value], *archiv
 	}
 	idx := &m.Levels[li]
 	g := grid.New[amr.Value](idx.Dims)
-	ords := sa.ords[mi][li]
+	ords := st.ords[mi][li]
 	jobs := make([]int, len(idx.Batches))
 	for b := range jobs {
 		jobs[b] = b
 	}
 	err = s.forEachBatch(jobs, func(b int) error {
-		bl, err := s.batch(sa, mi, li, b)
+		bl, err := s.batch(sa, st, mi, li, b)
 		if err != nil {
 			return err
 		}
@@ -309,7 +384,8 @@ func (s *Server) Region(name string, mi, li int, roi grid.Region) (*grid.Grid3[a
 	if err != nil {
 		return nil, grid.Region{}, err
 	}
-	m, err := sa.member(mi)
+	st := sa.view()
+	m, err := sa.member(st, mi)
 	if err != nil {
 		return nil, grid.Region{}, err
 	}
@@ -329,7 +405,7 @@ func (s *Server) Region(name string, mi, li int, roi grid.Region) (*grid.Grid3[a
 		X0: roi.X0 / ub, Y0: roi.Y0 / ub, Z0: roi.Z0 / ub,
 		X1: (roi.X1 + ub - 1) / ub, Y1: (roi.Y1 + ub - 1) / ub, Z1: (roi.Z1 + ub - 1) / ub,
 	}
-	ords := sa.ords[mi][li]
+	ords := st.ords[mi][li]
 	var jobs []int
 	for b := range idx.Batches {
 		lo, hi := idx.BatchSpan(b)
@@ -343,7 +419,7 @@ func (s *Server) Region(name string, mi, li int, roi grid.Region) (*grid.Grid3[a
 	}
 	out := grid.New[amr.Value](roi.Dims())
 	err = s.forEachBatch(jobs, func(b int) error {
-		bl, err := s.batch(sa, mi, li, b)
+		bl, err := s.batch(sa, st, mi, li, b)
 		if err != nil {
 			return err
 		}
@@ -373,7 +449,7 @@ func (s *Server) Dataset(name string, mi int) (*amr.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := sa.member(mi)
+	m, err := sa.member(sa.view(), mi)
 	if err != nil {
 		return nil, err
 	}

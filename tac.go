@@ -19,6 +19,7 @@ package tac
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/amr"
 	"repro/internal/archive"
@@ -185,4 +186,13 @@ func OpenArchive(r io.ReaderAt, size int64) (*ArchiveReader, error) {
 // must be closed.
 func OpenArchiveFile(path string) (*archive.FileReader, error) {
 	return archive.OpenFile(path)
+}
+
+// OpenArchiveAppend reopens a .taca archive for crash-safe in-place
+// growth: new members are laid down after the newest committed
+// generation (a torn tail from an earlier crash is truncated first) and
+// sealed by Commit/Close with fsync ordering that keeps the file
+// openable at every instant. Close the returned file after the writer.
+func OpenArchiveAppend(path string) (*ArchiveWriter, *os.File, error) {
+	return archive.OpenAppendFile(path)
 }
