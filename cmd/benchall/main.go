@@ -25,16 +25,17 @@ import (
 
 // report is the -json output schema.
 type report struct {
-	Scale      int                            `json:"scale"`
-	GoMaxProcs int                            `json:"gomaxprocs"`
-	Exhibits   []exhibitTiming                `json:"exhibits"`
-	Archive    experiments.ArchiveBenchResult `json:"archive"`
-	Engine     experiments.EngineBenchResult  `json:"engine"`
-	Entropy    experiments.EntropyBenchResult `json:"entropy"`
-	Predict    experiments.PredictBenchResult `json:"predict"`
-	Serve      experiments.ServeBenchResult   `json:"serve"`
-	Ingest     experiments.IngestBenchResult  `json:"ingest"`
-	TotalSecs  float64                        `json:"total_seconds"`
+	Scale      int                             `json:"scale"`
+	GoMaxProcs int                             `json:"gomaxprocs"`
+	Exhibits   []exhibitTiming                 `json:"exhibits"`
+	Archive    experiments.ArchiveBenchResult  `json:"archive"`
+	Engine     experiments.EngineBenchResult   `json:"engine"`
+	Entropy    experiments.EntropyBenchResult  `json:"entropy"`
+	Predict    experiments.PredictBenchResult  `json:"predict"`
+	Serve      experiments.ServeBenchResult    `json:"serve"`
+	Ingest     experiments.IngestBenchResult   `json:"ingest"`
+	Temporal   experiments.TemporalBenchResult `json:"temporal"`
+	TotalSecs  float64                         `json:"total_seconds"`
 }
 
 type exhibitTiming struct {
@@ -104,6 +105,11 @@ func main() {
 			log.Fatalf("ingest bench: %v", err)
 		}
 		rep.Ingest = ing
+		tmp, err := experiments.TemporalBench(env)
+		if err != nil {
+			log.Fatalf("temporal bench: %v", err)
+		}
+		rep.Temporal = tmp
 		rep.TotalSecs = time.Since(start).Seconds()
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -126,6 +132,10 @@ func main() {
 			srv.Requests, srv.Concurrency, srv.RequestsPerSec, srv.ServedMBps, srv.CacheHitRatio, srv.Decodes)
 		fmt.Printf("[ingest: %d snapshots, %.1f MB/s ingested (%.1f snap/s) with %d readers pulling %.1f MB/s, gen %d, reopened %d members]\n",
 			ing.Snapshots, ing.IngestMBps, ing.SnapshotsPerS, ing.Readers, ing.ReadMBps, ing.Generation, ing.ReopenedMember)
+		fmt.Printf("[temporal: %d snapshots K=%d, CR %.1f intra -> %.1f delta (%.2fx), write %.1f/%.1f MB/s, chain-%d extract %.1f vs %.1f MB/s, max err %.3g]\n",
+			tmp.Snapshots, tmp.Keyframe, tmp.IntraRatio, tmp.DeltaRatio, tmp.Improvement,
+			tmp.IntraWriteMBps, tmp.DeltaWriteMBps, tmp.ChainDepth,
+			tmp.DeltaExtractMBps, tmp.IntraExtractMBps, tmp.MaxErr)
 	}
 	fmt.Printf("\n[benchall completed in %v at scale 1/%d]\n", time.Since(start).Round(time.Second), *scale)
 }

@@ -9,7 +9,7 @@
 //	tacc decompress in.tacz out.amr
 //	tacc info       in.amr
 //	tacc verify     [-codec TAC] [-eb 1e9] [-rel] in.amr    (round-trip check)
-//	tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] [-append] out.taca in.amr...
+//	tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] [-append] [-delta] [-keyframe 8] out.taca in.amr...
 //	tacc ls         in.taca
 //	tacc extract    [-member 0] [-level -1] [-roi x0:x1,y0:y1,z0:z1] in.taca out.amr
 //
@@ -120,7 +120,7 @@ func usage() {
   tacc info       in.amr
   tacc verify     [-codec ...] [-eb ...] [-rel] in.amr
   tacc errmap     [-codec ...] [-eb ...] [-rel] [-level 0] [-slice -1] in.amr out.png
-  tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] [-append] out.taca in.amr...
+  tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] [-append] [-delta] [-keyframe 8] out.taca in.amr...
   tacc ls         in.taca
   tacc extract    [-member 0] [-level -1] [-roi x0:x1,y0:y1,z0:z1] in.taca out.amr`)
 	os.Exit(2)
@@ -270,7 +270,10 @@ func verify(args []string) {
 // -append the archive is grown in place: new members land after the
 // existing committed generation (a torn tail from an earlier crash is
 // truncated first), and the commit ordering keeps the file openable at
-// every instant.
+// every instant. With -delta the writer runs in campaign mode: each
+// member delta-codes against the previous member of its field where that
+// pays, with a keyframe every -keyframe members bounding the reference
+// chain (appends continue the chain of the committed tail).
 func archiveCmd(args []string) {
 	fs := flag.NewFlagSet("archive", flag.ExitOnError)
 	eb := fs.Float64("eb", 1e9, "error bound")
@@ -279,8 +282,13 @@ func archiveCmd(args []string) {
 	workers := fs.Int("workers", -1, "compression workers per level (-1 = all CPUs)")
 	batch := fs.Int("batch", archive.DefaultBatchBlocks, "unit blocks per seekable frame")
 	appendTo := fs.Bool("append", false, "append to an existing archive instead of creating it")
+	delta := fs.Bool("delta", false, "campaign mode: delta-code members against their predecessors")
+	keyframe := fs.Int("keyframe", 8, "with -delta, keyframe interval bounding reference chains")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
+	}
+	if *delta && *keyframe < 2 {
+		log.Fatalf("-keyframe must be >= 2 (got %d)", *keyframe)
 	}
 	rest := fs.Args()
 	if len(rest) < 2 {
@@ -318,6 +326,9 @@ func archiveCmd(args []string) {
 	}
 	defer f.Close()
 	w.BatchBlocks = *batch
+	if *delta {
+		w.Keyframe = *keyframe
+	}
 	t0 := time.Now()
 	var orig int64
 	startOff := w.Stats().BytesWritten
@@ -351,7 +362,10 @@ func archiveCmd(args []string) {
 		dt.Round(time.Millisecond), float64(orig)/1e6/dt.Seconds())
 }
 
-// lsCmd lists the members of an archive from its footer index alone.
+// lsCmd lists the members of an archive from its footer index alone:
+// per-member generation, coding mode (intra, or delta with its reference
+// member), and compression ratio come straight from the footer, no frame
+// is read.
 func lsCmd(args []string) {
 	if len(args) != 1 {
 		usage()
@@ -361,11 +375,15 @@ func lsCmd(args []string) {
 		log.Fatal(err)
 	}
 	defer r.Close()
-	fmt.Printf("%-4s %-16s %-20s %6s %12s %12s %8s %10s\n",
-		"#", "name", "field", "levels", "cells", "bytes", "CR", "eb")
+	fmt.Printf("%-4s %-16s %-20s %6s %4s %-10s %12s %12s %8s %10s\n",
+		"#", "name", "field", "levels", "gen", "mode", "cells", "bytes", "CR", "eb")
 	for i, m := range r.Members() {
-		fmt.Printf("%-4d %-16s %-20s %6d %12d %12d %8.1f %10.3g\n",
-			i, m.Name, m.Field, len(m.Levels), m.StoredCells(), m.CompressedBytes(),
+		mode := "intra"
+		if m.IsDelta() {
+			mode = fmt.Sprintf("delta->%d", m.Ref)
+		}
+		fmt.Printf("%-4d %-16s %-20s %6d %4d %-10s %12d %12d %8.1f %10.3g\n",
+			i, m.Name, m.Field, len(m.Levels), m.Gen, mode, m.StoredCells(), m.CompressedBytes(),
 			float64(m.OriginalBytes())/float64(m.CompressedBytes()), m.ErrorBound)
 	}
 }

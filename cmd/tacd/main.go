@@ -7,7 +7,8 @@
 // Usage:
 //
 //	tacd [-listen :8080] [-cache-mb 256] [-shards 16] [-workers 0]
-//	     [-ingest] [-ingest-queue 4] [-eb 0] archive.taca [name=other.taca ...]
+//	     [-ingest] [-ingest-queue 4] [-keyframe 0] [-eb 0]
+//	     archive.taca [name=other.taca ...]
 //
 // Each positional argument registers one archive, served under its base
 // name with the extension stripped (or an explicit name=path). Endpoints
@@ -53,6 +54,7 @@ func main() {
 	workers := flag.Int("workers", 0, "per-request batch fan-out (0 = GOMAXPROCS, 1 = serial)")
 	ingest := flag.Bool("ingest", false, "open archives read-write and accept POST /a/{name}/ingest")
 	ingestQueue := flag.Int("ingest-queue", server.DefaultIngestQueue, "queued snapshots per archive before 429s")
+	keyframe := flag.Int("keyframe", 0, "delta-code ingested members with this keyframe interval (0 = intra only)")
 	eb := flag.Float64("eb", 0, "error bound for ingested snapshots (0 = inherit from the archive's newest member)")
 	drainWait := flag.Duration("drain-wait", 30*time.Second, "graceful shutdown budget for in-flight requests")
 	flag.Usage = func() {
@@ -65,11 +67,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *keyframe == 1 || *keyframe < 0 {
+		log.Fatalf("-keyframe must be 0 (off) or >= 2 (got %d)", *keyframe)
+	}
 	s := server.New(server.Config{
-		CacheBytes:  *cacheMB << 20,
-		CacheShards: *shards,
-		Workers:     *workers,
-		IngestQueue: *ingestQueue,
+		CacheBytes:     *cacheMB << 20,
+		CacheShards:    *shards,
+		Workers:        *workers,
+		IngestQueue:    *ingestQueue,
+		IngestKeyframe: *keyframe,
 	})
 	for _, spec := range flag.Args() {
 		var name string

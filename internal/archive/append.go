@@ -50,6 +50,10 @@ func OpenAppend(f *os.File) (*Writer, error) {
 		off:       rd.size,
 		members:   rd.members,
 		committed: rd.gen + 1,
+		// The committed tail doubles as the delta-reference source: if the
+		// appender enables Keyframe, the first member of each field primes
+		// its reference by decoding the field's newest committed member.
+		tail: rd,
 	}, nil
 }
 

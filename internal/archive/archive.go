@@ -40,6 +40,24 @@
 // generation's footer valid: Open first parses the trailer at EOF and, if
 // the tail is torn, scans backward for the newest committed generation,
 // ignoring (or, in OpenAppend, truncating) the torn tail.
+//
+// Campaign (delta) mode — format v2: when the writer's keyframe interval
+// is on, a member may be coded temporally against an earlier member of
+// the same field: its frames are sz.CompressBlocksDelta residuals whose
+// reference is the RECONSTRUCTION of the referenced member's matching
+// batch. Such archives commit with a v2 footer — the v1 index plus, per
+// member, a dependency link (reference member index + generation) and,
+// per batch, a coding-mode flag — and the trailer magic
+//
+//	trailer₃  uint64 LE footer length + uint64 LE generation + "TACAEND3"
+//
+// which is what signals the v2 footer layout to readers (same 24-byte
+// shape as trailer₂, but legal at generation 0). Archives containing no
+// delta member commit with the v1 footer and trailers, byte-identical to
+// what this package wrote before delta mode existed. Reference links
+// always point strictly backward in the member index, so chains terminate
+// by construction; the reader resolves them transparently, and keyframes
+// every K members bound the depth (see Writer.Keyframe).
 package archive
 
 import (
@@ -63,12 +81,14 @@ const (
 	headerLen   = 5  // "TACA" + version byte
 	trailerLen  = 16 // generation-0 trailer: footer length + magic
 	trailer2Len = 24 // appended generations: footer length + generation + magic
+	trailer3Len = 24 // v2 (delta-bearing) footer: footer length + generation + magic
 )
 
 var (
 	headerMagic   = [4]byte{'T', 'A', 'C', 'A'}
 	trailerMagic  = [8]byte{'T', 'A', 'C', 'A', 'E', 'N', 'D', '1'}
 	trailer2Magic = [8]byte{'T', 'A', 'C', 'A', 'E', 'N', 'D', '2'}
+	trailer3Magic = [8]byte{'T', 'A', 'C', 'A', 'E', 'N', 'D', '3'}
 )
 
 // BatchRecord locates one block-batch frame in the archive.
@@ -85,11 +105,22 @@ type LevelIndex struct {
 	BatchBlocks int        // unit blocks per batch (last batch may be short)
 	Batches     []BatchRecord
 
+	// Delta flags each batch's coding mode: true when frame b is a
+	// temporal residual (sz.CompressBlocksDelta) against the matching
+	// batch of the member's reference (Member.Ref). nil — the only state
+	// a v1 footer can produce — means all-intra.
+	Delta []bool
+
 	// occupied caches Mask.Count(), set by the reader and writer index
 	// builders so the serving hot paths do not popcount the mask per
 	// batch per request; occupiedCount falls back to the popcount for
 	// hand-built indices.
 	occupied int
+}
+
+// IsDelta reports whether batch b of the level is temporally coded.
+func (li *LevelIndex) IsDelta(b int) bool {
+	return li.Delta != nil && b < len(li.Delta) && li.Delta[b]
 }
 
 // occupiedCount returns the number of occupied unit blocks.
@@ -143,8 +174,20 @@ type Member struct {
 	QuantBits   int
 	LevelScales []float64
 
+	// Ref is the member index this member's delta batches reference, or
+	// −1 when the member is fully intra-coded. References always point
+	// strictly backward (Ref < the member's own index), so chains
+	// terminate; only v2 footers can carry Ref ≥ 0.
+	Ref int
+	// Gen is the archive generation the member was committed in (0 for
+	// the initial write). v1 footers do not record it.
+	Gen int
+
 	Levels []LevelIndex
 }
+
+// IsDelta reports whether any batch of the member is temporally coded.
+func (m *Member) IsDelta() bool { return m.Ref >= 0 }
 
 // StoredCells returns the number of cells stored across all levels.
 func (m *Member) StoredCells() int {
@@ -168,8 +211,23 @@ func (m *Member) CompressedBytes() int64 {
 	return n
 }
 
-// encodeFooter serializes the member index.
-func encodeFooter(members []Member) ([]byte, error) {
+// needV2 reports whether the member set requires the v2 footer layout —
+// any delta-coded member. Intra-only archives stay on v1 so their bytes
+// are unchanged from pre-delta writers.
+func needV2(members []Member) bool {
+	for i := range members {
+		if members[i].Ref >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// encodeFooter serializes the member index. The v2 layout interleaves the
+// dependency links: per member a reference index (+1, 0 = none) and
+// generation after QuantBits, and per batch a coding-mode flag varint
+// after the batch records.
+func encodeFooter(members []Member, v2 bool) ([]byte, error) {
 	var out []byte
 	out = bitio.AppendUvarint(out, uint64(len(members)))
 	for mi := range members {
@@ -180,6 +238,15 @@ func encodeFooter(members []Member) ([]byte, error) {
 		out = bitio.AppendUvarint(out, math.Float64bits(m.ErrorBound))
 		out = bitio.AppendUvarint(out, uint64(m.Mode))
 		out = bitio.AppendUvarint(out, uint64(m.QuantBits))
+		if v2 {
+			if m.Ref >= mi {
+				return nil, fmt.Errorf("archive: member %d references member %d (must point strictly backward)", mi, m.Ref)
+			}
+			out = bitio.AppendUvarint(out, uint64(m.Ref+1)) // −1 (intra) encodes as 0
+			out = bitio.AppendUvarint(out, uint64(m.Gen))
+		} else if m.Ref >= 0 {
+			return nil, fmt.Errorf("archive: member %d is delta-coded but footer is v1", mi)
+		}
 		out = bitio.AppendUvarint(out, uint64(len(m.LevelScales)))
 		for _, s := range m.LevelScales {
 			out = bitio.AppendUvarint(out, math.Float64bits(s))
@@ -202,13 +269,29 @@ func encodeFooter(members []Member) ([]byte, error) {
 				out = bitio.AppendUvarint(out, uint64(b.Offset))
 				out = bitio.AppendUvarint(out, uint64(b.Length))
 			}
+			if v2 {
+				if li.Delta != nil && len(li.Delta) != len(li.Batches) {
+					return nil, fmt.Errorf("archive: member %d level %d has %d delta flags for %d batches", mi, i, len(li.Delta), len(li.Batches))
+				}
+				for b := range li.Batches {
+					var flag uint64
+					if li.IsDelta(b) {
+						flag = 1
+					}
+					out = bitio.AppendUvarint(out, flag)
+				}
+			}
 		}
 	}
 	return out, nil
 }
 
-// decodeFooter parses the member index.
-func decodeFooter(buf []byte) ([]Member, error) {
+// decodeFooter parses the member index. v2 selects the delta-aware layout
+// (signaled by the TACAEND3 trailer); the dependency links it carries are
+// validated here so no hostile footer can smuggle a cycle, a forward or
+// self reference, or a delta batch whose reference has a different AMR
+// structure — every such link is rejected before any frame is read.
+func decodeFooter(buf []byte, v2 bool) ([]Member, error) {
 	u := func() (uint64, error) {
 		v, n, err := bitio.Uvarint(buf)
 		if err != nil {
@@ -265,6 +348,28 @@ func decodeFooter(buf []byte) ([]Member, error) {
 			return nil, err
 		}
 		m.QuantBits = int(qb)
+		m.Ref = -1
+		if v2 {
+			refPlus1, err := u()
+			if err != nil {
+				return nil, err
+			}
+			// Strictly-backward references are the whole termination
+			// argument: no self links, no forward links, and therefore no
+			// cycles, regardless of what the footer claims.
+			if refPlus1 > mi {
+				return nil, fmt.Errorf("archive: member %d references member %d (must point strictly backward)", mi, int64(refPlus1)-1)
+			}
+			m.Ref = int(refPlus1) - 1
+			gen, err := u()
+			if err != nil {
+				return nil, err
+			}
+			if gen > 1<<32 {
+				return nil, fmt.Errorf("archive: member %d has implausible generation %d", mi, gen)
+			}
+			m.Gen = int(gen)
+		}
 		ns, err := u()
 		if err != nil {
 			return nil, err
@@ -355,6 +460,43 @@ func decodeFooter(buf []byte) ([]Member, error) {
 					return nil, fmt.Errorf("archive: member %d level %d batch %d is empty", mi, liIdx, i)
 				}
 				li.Batches = append(li.Batches, BatchRecord{Offset: int64(off), Length: int64(length)})
+			}
+			if v2 {
+				for b := uint64(0); b < nb; b++ {
+					flag, err := u()
+					if err != nil {
+						return nil, err
+					}
+					if flag > 1 {
+						return nil, fmt.Errorf("archive: member %d level %d batch %d has unknown mode flags %#x", mi, liIdx, b, flag)
+					}
+					if flag == 1 {
+						if li.Delta == nil {
+							li.Delta = make([]bool, nb)
+						}
+						li.Delta[b] = true
+					}
+				}
+				if li.Delta != nil {
+					// A delta batch only decodes against a reference batch
+					// covering the same blocks, so the referenced member
+					// must carry this level at a bit-identical structure.
+					if m.Ref < 0 {
+						return nil, fmt.Errorf("archive: member %d level %d has delta batches but no reference member", mi, liIdx)
+					}
+					ref := &members[m.Ref]
+					if ref.Field != m.Field {
+						return nil, fmt.Errorf("archive: member %d (field %q) references member %d (field %q)", mi, m.Field, m.Ref, ref.Field)
+					}
+					if int(liIdx) >= len(ref.Levels) {
+						return nil, fmt.Errorf("archive: member %d level %d missing from reference member %d", mi, liIdx, m.Ref)
+					}
+					rl := &ref.Levels[liIdx]
+					if rl.Dims != li.Dims || rl.UnitBlock != li.UnitBlock ||
+						rl.BatchBlocks != li.BatchBlocks || !rl.Mask.Equal(li.Mask) {
+						return nil, fmt.Errorf("archive: member %d level %d structure differs from reference member %d", mi, liIdx, m.Ref)
+					}
+				}
 			}
 			m.Levels = append(m.Levels, li)
 		}

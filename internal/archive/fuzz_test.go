@@ -63,6 +63,41 @@ func FuzzOpen(f *testing.F) {
 	f.Add(multi[:len(multi)-5])                       // torn trailer
 	f.Add([]byte("TACA\x01 not really an archive TACAEND1"))
 
+	// Seeds 4-6: a v2 campaign archive (delta members under TACAEND3),
+	// a torn delta tail, and a bit-flip inside its footer region — the
+	// mutation engine starts from here to attack the dependency links.
+	dpath := filepath.Join(dir, "delta.taca")
+	dfl, err := os.Create(dpath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	dw, err := NewWriter(dfl)
+	if err != nil {
+		f.Fatal(err)
+	}
+	dw.BatchBlocks = 8
+	dw.Keyframe = 3
+	prev := mkSnap("d0", 9)
+	for i := 0; i < 3; i++ {
+		if err := dw.AddDataset(prev, codec.Config{ErrorBound: 1e9}); err != nil {
+			f.Fatal(err)
+		}
+		prev = driftDataset(prev, "d"+string(rune('1'+i)), 1e9, int64(i))
+	}
+	if err := dw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	dfl.Close()
+	dv2, err := os.ReadFile(dpath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(dv2)
+	f.Add(dv2[:len(dv2)-trailer3Len-7]) // torn delta tail: footer cut mid-record
+	flip := append([]byte(nil), dv2...)
+	flip[len(flip)-trailer3Len-10] ^= 0x08 // corrupt a footer byte near the links
+	f.Add(flip)
+
 	f.Fuzz(func(t *testing.T, b []byte) {
 		if len(b) > 1<<20 {
 			return

@@ -79,12 +79,21 @@ func openAt(r io.ReaderAt, end int64) (*Reader, error) {
 	}
 	var tlen int64
 	var gen uint64
+	v2 := false
 	switch [8]byte(magic) {
 	case trailerMagic:
 		tlen = trailerLen
 	case trailer2Magic:
 		tlen = trailer2Len
 		if end < headerLen+trailer2Len {
+			return nil, fmt.Errorf("archive: %w: %d bytes is too short for a generation trailer", ErrCorrupt, end)
+		}
+	case trailer3Magic:
+		// Same 24-byte shape as trailer₂, but signals the v2 (delta-aware)
+		// footer layout and is legal at generation 0.
+		tlen = trailer3Len
+		v2 = true
+		if end < headerLen+trailer3Len {
 			return nil, fmt.Errorf("archive: %w: %d bytes is too short for a generation trailer", ErrCorrupt, end)
 		}
 	default:
@@ -102,7 +111,7 @@ func openAt(r io.ReaderAt, end int64) (*Reader, error) {
 		for i := 7; i >= 0; i-- {
 			gen = gen<<8 | uint64(trailer[8+i])
 		}
-		if gen == 0 {
+		if gen == 0 && !v2 {
 			return nil, fmt.Errorf("archive: %w: generation trailer claims generation 0", ErrCorrupt)
 		}
 	}
@@ -113,7 +122,7 @@ func openAt(r io.ReaderAt, end int64) (*Reader, error) {
 	if _, err := r.ReadAt(footer, end-tlen-int64(flen)); err != nil {
 		return nil, fmt.Errorf("archive: %w: reading footer: %w", ErrCorrupt, err)
 	}
-	members, err := decodeFooter(footer)
+	members, err := decodeFooter(footer, v2)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
@@ -161,7 +170,7 @@ func recoverScan(r io.ReaderAt, size int64) (*Reader, int64, error) {
 				continue
 			}
 			m := [8]byte(win[i : i+8])
-			if m != trailerMagic && m != trailer2Magic {
+			if m != trailerMagic && m != trailer2Magic && m != trailer3Magic {
 				continue
 			}
 			end := lo + int64(i) + 8
@@ -272,9 +281,31 @@ func (r *Reader) DecodeBatchWith(dec *sz.Decoder[amr.Value], mi, li, b int) ([]*
 }
 
 // decodeBatch reads frame b of idx through the ReaderAt and decodes it,
-// validating the frame geometry against the index. mi and li only provide
-// error context.
+// validating the frame geometry against the index. A delta frame first
+// resolves its reference chain: the matching batch of the referenced
+// member (structure-identical by footer validation, so batch b covers the
+// same blocks) is decoded recursively down to the nearest intra frame,
+// then residuals apply upward. References point strictly backward, so the
+// recursion depth is bounded by the keyframe interval the writer used. mi
+// and li only provide error context; idx must be level li of member mi.
 func (r *Reader) decodeBatch(dec *sz.Decoder[amr.Value], idx *LevelIndex, mi, li, b int) ([]*grid.Grid3[amr.Value], error) {
+	var refs []*grid.Grid3[amr.Value]
+	if idx.IsDelta(b) {
+		refMi := r.members[mi].Ref
+		refIdx := &r.members[refMi].Levels[li]
+		var err error
+		if refs, err = r.decodeBatch(dec, refIdx, refMi, li, b); err != nil {
+			return nil, err
+		}
+	}
+	return r.decodeBatchOn(dec, idx, mi, li, b, refs)
+}
+
+// decodeBatchOn decodes frame b of idx given its already-decoded
+// reference blocks (nil for an intra frame). The frame's coding mode must
+// match the footer's flag — a delta payload in an intra slot (or the
+// reverse) is corruption, caught before any reconstruction.
+func (r *Reader) decodeBatchOn(dec *sz.Decoder[amr.Value], idx *LevelIndex, mi, li, b int, refs []*grid.Grid3[amr.Value]) ([]*grid.Grid3[amr.Value], error) {
 	rec := idx.Batches[b]
 	blob := make([]byte, rec.Length)
 	if _, err := r.r.ReadAt(blob, rec.Offset); err != nil {
@@ -290,11 +321,65 @@ func (r *Reader) decodeBatch(dec *sz.Decoder[amr.Value], idx *LevelIndex, mi, li
 		return nil, fmt.Errorf("archive: member %d level %d batch %d: %w: frame holds %d×%v blocks, index implies %d×%v",
 			mi, li, b, ErrCorrupt, info.Blocks, info.BlockDims, hi-lo, wantDims)
 	}
-	blocks, err := dec.DecompressBlocks(blob)
+	if info.Delta != idx.IsDelta(b) {
+		return nil, fmt.Errorf("archive: member %d level %d batch %d: %w: frame delta=%v, index says %v",
+			mi, li, b, ErrCorrupt, info.Delta, idx.IsDelta(b))
+	}
+	var blocks []*grid.Grid3[amr.Value]
+	if info.Delta {
+		blocks, err = dec.DecompressBlocksDelta(blob, refs)
+	} else {
+		blocks, err = dec.DecompressBlocks(blob)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("archive: member %d level %d batch %d: %w: %w", mi, li, b, ErrCorrupt, err)
 	}
 	return blocks, nil
+}
+
+// BatchDep reports the dependency of batch b of level li of member mi:
+// whether the frame is delta-coded and, if so, the member index its
+// reference batch lives in (batch b of the same level — the structures
+// are identical by construction). Chain-aware callers (the serving
+// layer's cache) use it to decode references through their own storage
+// and then apply the residual via DecodeBatchOn.
+func (r *Reader) BatchDep(mi, li, b int) (ref int, delta bool, err error) {
+	m, err := r.member(mi)
+	if err != nil {
+		return -1, false, err
+	}
+	if li < 0 || li >= len(m.Levels) {
+		return -1, false, fmt.Errorf("archive: member %d has no level %d", mi, li)
+	}
+	idx := &m.Levels[li]
+	if b < 0 || b >= len(idx.Batches) {
+		return -1, false, fmt.Errorf("archive: member %d level %d has no batch %d (have %d)", mi, li, b, len(idx.Batches))
+	}
+	if idx.IsDelta(b) {
+		return m.Ref, true, nil
+	}
+	return -1, false, nil
+}
+
+// DecodeBatchOn is DecodeBatch for callers that resolve reference chains
+// themselves: refs must be the decoded blocks of the reference batch
+// reported by BatchDep (nil for an intra frame). The returned grids are
+// freshly allocated; refs is read only.
+func (r *Reader) DecodeBatchOn(mi, li, b int, refs []*grid.Grid3[amr.Value]) ([]*grid.Grid3[amr.Value], error) {
+	m, err := r.member(mi)
+	if err != nil {
+		return nil, err
+	}
+	if li < 0 || li >= len(m.Levels) {
+		return nil, fmt.Errorf("archive: member %d has no level %d", mi, li)
+	}
+	idx := &m.Levels[li]
+	if b < 0 || b >= len(idx.Batches) {
+		return nil, fmt.Errorf("archive: member %d level %d has no batch %d (have %d)", mi, li, b, len(idx.Batches))
+	}
+	dec := decoders.Get()
+	defer decoders.Put(dec)
+	return r.decodeBatchOn(dec, idx, mi, li, b, refs)
 }
 
 // Extract reconstructs a whole member as a dataset.

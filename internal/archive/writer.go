@@ -37,6 +37,19 @@ type Writer struct {
 	// begun members; 0 means DefaultBatchBlocks.
 	BatchBlocks int
 
+	// Keyframe enables campaign (delta) coding for subsequently begun
+	// members: when a member's field was already written at identical AMR
+	// structure, each batch is coded both intra and as residuals against
+	// the previous member's reconstruction, and the smaller frame wins —
+	// so a delta archive is never larger than its intra counterpart. A
+	// fresh keyframe (fully intra member) starts at least every Keyframe
+	// members per field, bounding every reference chain a reader must
+	// resolve. 0 or 1 disables delta coding entirely, and the output is
+	// then byte-identical to a pre-delta writer (v1 footer and trailers).
+	// Delta mode keeps one reconstructed snapshot per field in memory,
+	// relaxing the streaming-memory guarantee by the field's stored cells.
+	Keyframe int
+
 	w       io.Writer
 	file    *os.File // non-nil for append-mode writers: enables Commit's fsync ordering
 	off     int64    // bytes emitted so far == next frame's offset
@@ -44,11 +57,45 @@ type Writer struct {
 	cur     *MemberWriter
 	closed  bool
 
+	// prev holds, per field, the reconstruction of the newest sealed
+	// member — the reference candidate for the next member of that field.
+	// tail, set by OpenAppend, lazily primes prev from the committed
+	// archive so delta chains continue across append generations.
+	prev map[string]*fieldRecon
+	tail *Reader
+
 	committed uint64 // footer generations written so far (== next trailer's generation)
 	dirty     bool   // members sealed since the last Commit
 
 	gatheredCells atomic.Int64 // cells currently gathered, pre-compression
 	peakGathered  atomic.Int64
+}
+
+// fieldRecon is the retained reconstruction of one member, the temporal
+// reference for the next member of the same field.
+type fieldRecon struct {
+	index  int // member index the reconstruction belongs to
+	chain  int // delta-chain depth of that member (0 = keyframe)
+	levels []levelRecon
+}
+
+// levelRecon is one level of a fieldRecon: the structure the next member
+// must match for delta coding, plus the reconstructed occupied blocks in
+// row-major mask order.
+type levelRecon struct {
+	dims        grid.Dims
+	unitBlock   int
+	batchBlocks int
+	mask        *grid.Mask
+	blocks      []*grid.Grid3[amr.Value]
+}
+
+// matches reports whether a level with the given structure can be
+// delta-coded against lr: delta frames only decode when batch b of both
+// members covers exactly the same blocks.
+func (lr *levelRecon) matches(d grid.Dims, unitBlock, batchBlocks int, mask *grid.Mask) bool {
+	return lr.dims == d && lr.unitBlock == unitBlock &&
+		lr.batchBlocks == batchBlocks && lr.mask.Equal(mask)
 }
 
 // Stats reports what a Writer has done so far.
@@ -120,9 +167,76 @@ func (w *Writer) BeginMember(name, field string, ratio int, cfg codec.Config) (*
 			Mode:        cfg.Mode,
 			QuantBits:   cfg.QuantBits,
 			LevelScales: append([]float64(nil), cfg.LevelScales...),
+			Ref:         -1,
 		},
 	}
+	if w.Keyframe > 1 {
+		w.cur.capturing = true
+		fr, err := w.primed(field)
+		if err != nil {
+			w.cur = nil
+			return nil, err
+		}
+		// Chains are cut BEFORE they would reach Keyframe members: a
+		// reference at depth Keyframe−1 forces this member intra.
+		if fr != nil && fr.chain+1 < w.Keyframe {
+			w.cur.ref = fr
+		}
+	}
 	return w.cur, nil
+}
+
+// primed returns the reference candidate for field: the reconstruction
+// of the newest sealed member of that field, decoding it from the
+// appended-to archive (through any delta chain) on first use. It returns
+// nil when the field has never been written.
+func (w *Writer) primed(field string) (*fieldRecon, error) {
+	if fr, ok := w.prev[field]; ok {
+		return fr, nil
+	}
+	if w.prev == nil {
+		w.prev = make(map[string]*fieldRecon)
+	}
+	if w.tail == nil {
+		return nil, nil
+	}
+	tm := w.tail.Members()
+	mi := -1
+	for i := len(tm) - 1; i >= 0; i-- {
+		if tm[i].Field == field {
+			mi = i
+			break
+		}
+	}
+	if mi < 0 {
+		w.prev[field] = nil
+		return nil, nil
+	}
+	m := &tm[mi]
+	fr := &fieldRecon{index: mi}
+	for r := mi; tm[r].Ref >= 0; r = tm[r].Ref {
+		fr.chain++
+	}
+	for li := range m.Levels {
+		idx := &m.Levels[li]
+		lr := levelRecon{
+			dims:        idx.Dims,
+			unitBlock:   idx.UnitBlock,
+			batchBlocks: idx.BatchBlocks,
+			mask:        idx.Mask.Clone(),
+			blocks:      make([]*grid.Grid3[amr.Value], 0, idx.occupiedCount()),
+		}
+		for b := range idx.Batches {
+			blocks, err := w.tail.DecodeBatch(mi, li, b)
+			if err != nil {
+				return nil, fmt.Errorf("archive: priming delta reference for field %q: %w", field, err)
+			}
+			lr.blocks = append(lr.blocks, blocks...)
+		}
+		fr.levels = append(fr.levels, lr)
+	}
+	w.prev[field] = fr
+	return fr, nil
 }
 
 // MemberWriter appends the levels of one member.
@@ -131,6 +245,16 @@ type MemberWriter struct {
 	cfg    codec.Config
 	member Member
 	done   bool
+
+	// Campaign-mode state: ref is the reference reconstruction delta
+	// batches code against (nil → all intra); capturing records this
+	// member's own reconstruction level by level into capture, making it
+	// the next member's reference candidate; usedDelta notes whether any
+	// batch actually won as a delta.
+	ref       *fieldRecon
+	capturing bool
+	capture   []levelRecon
+	usedDelta bool
 }
 
 // workers resolves the configured worker count for the batch pipeline.
@@ -171,12 +295,38 @@ func (mw *MemberWriter) AddLevel(l *amr.Level) error {
 	ords := l.Mask.OccupiedIndices()
 	idx.occupied = len(ords)
 	nbatch := (len(ords) + batchBlocks - 1) / batchBlocks
+
+	// Campaign mode: capture this level's reconstruction (so the next
+	// member can reference it), and resolve the reference level delta
+	// batches would code against — only legal at bit-identical structure.
+	ubDims := grid.Dims{X: l.UnitBlock, Y: l.UnitBlock, Z: l.UnitBlock}
+	var capture []*grid.Grid3[amr.Value]
+	if mw.capturing {
+		capture = grid.NewBlocks[amr.Value](ubDims, len(ords))
+		mw.capture = append(mw.capture, levelRecon{
+			dims:        idx.Dims,
+			unitBlock:   idx.UnitBlock,
+			batchBlocks: batchBlocks,
+			mask:        idx.Mask,
+			blocks:      capture,
+		})
+	}
+	var refLevel *levelRecon
+	if mw.ref != nil && liIdx < len(mw.ref.levels) &&
+		mw.ref.levels[liIdx].matches(l.Grid.Dim, l.UnitBlock, batchBlocks, l.Mask) {
+		refLevel = &mw.ref.levels[liIdx]
+	}
+
 	if nbatch == 0 {
 		mw.member.Levels = append(mw.member.Levels, idx)
 		return nil
 	}
 
-	compress := func(b int) ([]byte, error) {
+	// compress gathers and encodes one batch, reporting whether the delta
+	// coding won. With a reference in scope each batch is coded BOTH ways
+	// and the smaller frame kept, so delta mode can only shrink the
+	// archive (at roughly half the encode throughput).
+	compress := func(b int) ([]byte, bool, error) {
 		lo := b * batchBlocks
 		hi := min(lo+batchBlocks, len(ords))
 		cells := int64(hi-lo) * int64(l.UnitBlock*l.UnitBlock*l.UnitBlock)
@@ -195,23 +345,65 @@ func (mw *MemberWriter) AddLevel(l *amr.Level) error {
 		}
 		enc := encoders.Get()
 		defer encoders.Put(enc)
-		blob, _, err := enc.CompressBlocks(blocks, opts)
-		return blob, err
+		var caps []*grid.Grid3[amr.Value]
+		if capture != nil {
+			caps = capture[lo:hi]
+		}
+		var intra []byte
+		var err error
+		if caps != nil {
+			intra, _, err = enc.CompressBlocksCapture(blocks, opts, caps)
+		} else {
+			intra, _, err = enc.CompressBlocks(blocks, opts)
+		}
+		if err != nil || refLevel == nil {
+			return intra, false, err
+		}
+		deltaRec := grid.NewBlocks[amr.Value](ubDims, hi-lo)
+		delta, _, err := enc.CompressBlocksDelta(blocks, refLevel.blocks[lo:hi], opts, deltaRec)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(delta) >= len(intra) {
+			return intra, false, nil
+		}
+		// The delta frame ships, so the retained reconstruction must be
+		// the one ITS decoder produces.
+		for k, c := range caps {
+			copy(c.Data, deltaRec[k].Data)
+		}
+		return delta, true, nil
+	}
+	var deltaFlags []bool
+	anyDelta := false
+	sealBatches := func() {
+		if anyDelta {
+			idx.Delta = deltaFlags
+			mw.usedDelta = true
+		}
+		mw.member.Levels = append(mw.member.Levels, idx)
+	}
+	if refLevel != nil {
+		deltaFlags = make([]bool, nbatch)
 	}
 
 	workers := mw.workers()
 	if workers == 1 {
 		// Serial path: gather, compress, and flush one batch at a time.
 		for b := 0; b < nbatch; b++ {
-			blob, err := compress(b)
+			blob, isDelta, err := compress(b)
 			if err != nil {
 				return fmt.Errorf("archive: level %d batch %d: %w", liIdx, b, err)
 			}
 			if err := mw.w.writeFrame(blob, &idx); err != nil {
 				return err
 			}
+			if isDelta {
+				deltaFlags[b] = true
+				anyDelta = true
+			}
 		}
-		mw.member.Levels = append(mw.member.Levels, idx)
+		sealBatches()
 		return nil
 	}
 
@@ -226,6 +418,7 @@ func (mw *MemberWriter) AddLevel(l *amr.Level) error {
 		mu     sync.Mutex
 		cond   = sync.NewCond(&mu)
 		blobs  = make([][]byte, nbatch)
+		deltas = make([]bool, nbatch)
 		errs   = make([]error, nbatch)
 		done   = make([]bool, nbatch)
 		wg     sync.WaitGroup
@@ -247,9 +440,9 @@ func (mw *MemberWriter) AddLevel(l *amr.Level) error {
 			wg.Add(1)
 			go func(b int) {
 				defer wg.Done()
-				blob, err := compress(b)
+				blob, isDelta, err := compress(b)
 				mu.Lock()
-				blobs[b], errs[b], done[b] = blob, err, true
+				blobs[b], deltas[b], errs[b], done[b] = blob, isDelta, err, true
 				cond.Broadcast()
 				mu.Unlock()
 			}(b)
@@ -265,7 +458,7 @@ func (mw *MemberWriter) AddLevel(l *amr.Level) error {
 		for !done[b] {
 			cond.Wait()
 		}
-		blob, err := blobs[b], errs[b]
+		blob, isDelta, err := blobs[b], deltas[b], errs[b]
 		blobs[b] = nil
 		mu.Unlock()
 		if err != nil {
@@ -274,9 +467,13 @@ func (mw *MemberWriter) AddLevel(l *amr.Level) error {
 		if err := mw.w.writeFrame(blob, &idx); err != nil {
 			return fail(err)
 		}
+		if isDelta {
+			deltaFlags[b] = true
+			anyDelta = true
+		}
 		<-window
 	}
-	mw.member.Levels = append(mw.member.Levels, idx)
+	sealBatches()
 	return nil
 }
 
@@ -300,7 +497,28 @@ func (mw *MemberWriter) Close() error {
 		mw.w.cur = nil
 		return fmt.Errorf("archive: member %q has no levels", mw.member.Name)
 	}
+	mw.member.Gen = int(mw.w.committed)
+	if mw.usedDelta {
+		mw.member.Ref = mw.ref.index
+	}
 	mw.w.members = append(mw.w.members, mw.member)
+	if mw.capturing {
+		// This member is now the field's reference candidate. A member
+		// that shipped no delta batch is a keyframe: it resets the chain,
+		// so the next member may reference it at full depth budget.
+		chain := 0
+		if mw.usedDelta {
+			chain = mw.ref.chain + 1
+		}
+		if mw.w.prev == nil {
+			mw.w.prev = make(map[string]*fieldRecon)
+		}
+		mw.w.prev[mw.member.Field] = &fieldRecon{
+			index:  len(mw.w.members) - 1,
+			chain:  chain,
+			levels: mw.capture,
+		}
+	}
 	mw.w.dirty = true
 	mw.w.cur = nil
 	return nil
@@ -341,7 +559,10 @@ func (w *Writer) Generation() uint64 { return w.committed }
 //
 // Generation 0 (a fresh archive's first commit) writes the 16-byte v1
 // trailer, byte-identical to archives written before append existed;
-// later generations write the 24-byte generation-stamped trailer.
+// later generations write the 24-byte generation-stamped trailer. An
+// archive holding any delta-coded member instead commits the v2 footer
+// under the TACAEND3 trailer (generation-stamped, legal at generation 0);
+// intra-only archives never do, keeping their bytes on the v1 format.
 func (w *Writer) Commit() error {
 	if w.closed {
 		return fmt.Errorf("archive: writer is closed")
@@ -349,7 +570,8 @@ func (w *Writer) Commit() error {
 	if w.cur != nil {
 		return fmt.Errorf("archive: member %q still open", w.cur.member.Name)
 	}
-	footer, err := encodeFooter(w.members)
+	v2 := needV2(w.members)
+	footer, err := encodeFooter(w.members, v2)
 	if err != nil {
 		return err
 	}
@@ -364,13 +586,23 @@ func (w *Writer) Commit() error {
 	}
 	flen := uint64(len(footer))
 	var trailer []byte
-	if w.committed == 0 {
+	switch {
+	case v2:
+		trailer = make([]byte, 0, trailer3Len)
+		for i := 0; i < 8; i++ {
+			trailer = append(trailer, byte(flen>>(8*i)))
+		}
+		for i := 0; i < 8; i++ {
+			trailer = append(trailer, byte(w.committed>>(8*i)))
+		}
+		trailer = append(trailer, trailer3Magic[:]...)
+	case w.committed == 0:
 		trailer = make([]byte, 0, trailerLen)
 		for i := 0; i < 8; i++ {
 			trailer = append(trailer, byte(flen>>(8*i)))
 		}
 		trailer = append(trailer, trailerMagic[:]...)
-	} else {
+	default:
 		trailer = make([]byte, 0, trailer2Len)
 		for i := 0; i < 8; i++ {
 			trailer = append(trailer, byte(flen>>(8*i)))

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/amr"
+	"repro/internal/archive"
+	"repro/internal/codec"
+	"repro/internal/sim"
+)
+
+// TemporalBenchResult is the machine-readable campaign-mode record
+// cmd/benchall -json emits: the same drifting multi-snapshot campaign
+// archived twice — intra-only and with keyframe/delta members — so the
+// temporal-compression win (and its decode-latency price at worst-case
+// chain depth) is tracked across PRs.
+type TemporalBenchResult struct {
+	Snapshots     int     `json:"snapshots"`
+	Keyframe      int     `json:"keyframe"`
+	ChainDepth    int     `json:"chain_depth"` // of the member timed below
+	OriginalBytes int64   `json:"original_bytes"`
+	ErrorBound    float64 `json:"error_bound"`
+
+	IntraBytes int64   `json:"intra_bytes"`
+	DeltaBytes int64   `json:"delta_bytes"`
+	IntraRatio float64 `json:"intra_ratio"`
+	DeltaRatio float64 `json:"delta_ratio"`
+	// Improvement is DeltaRatio / IntraRatio: >1 means campaign mode
+	// stored the same campaign smaller at the same bound.
+	Improvement float64 `json:"improvement"`
+
+	IntraWriteMBps float64 `json:"intra_write_mb_per_s"`
+	DeltaWriteMBps float64 `json:"delta_write_mb_per_s"`
+	// Extract throughput of the deepest-chained member, against the same
+	// member of the intra archive: the worst-case random-access price of
+	// resolving a reference chain.
+	IntraExtractMBps float64 `json:"intra_extract_mb_per_s"`
+	DeltaExtractMBps float64 `json:"delta_extract_mb_per_s"`
+
+	// MaxErr is the largest |original - reconstructed| across every
+	// member of the delta archive — the per-snapshot bound, measured.
+	MaxErr float64 `json:"max_err"`
+}
+
+// temporalCampaign derives a drifting campaign from one catalog snapshot:
+// identical AMR structure throughout, values moved per unit block by a few
+// error bounds per step plus sub-bound jitter — the slowly-evolving
+// regime the paper's simulation outputs live in.
+func temporalCampaign(env *Env, steps int, eb float64) ([]*amr.Dataset, error) {
+	base, err := env.Dataset("Run1_Z10", sim.BaryonDensity)
+	if err != nil {
+		return nil, err
+	}
+	snaps := make([]*amr.Dataset, steps)
+	snaps[0] = base
+	rng := rand.New(rand.NewSource(1202))
+	for s := 1; s < steps; s++ {
+		ds := snaps[s-1].Clone()
+		ds.Name = fmt.Sprintf("%s_t%d", base.Name, s)
+		for _, l := range ds.Levels {
+			for _, ord := range l.Mask.OccupiedIndices() {
+				bx, by, bz := l.Mask.Dim.Coords(ord)
+				r := l.BlockRegion(bx, by, bz)
+				drift := amr.Value((rng.Float64()*2 - 1) * 3 * eb)
+				for x := r.X0; x < r.X1; x++ {
+					for y := r.Y0; y < r.Y1; y++ {
+						for z := r.Z0; z < r.Z1; z++ {
+							i := l.Grid.Dim.Index(x, y, z)
+							l.Grid.Data[i] += drift + amr.Value((rng.Float64()*2-1)*eb/4)
+						}
+					}
+				}
+			}
+		}
+		snaps[s] = ds
+	}
+	return snaps, nil
+}
+
+// writeCampaign archives the snapshots with the given keyframe interval
+// (0 = intra-only) and returns the bytes plus the wall time.
+func writeCampaign(snaps []*amr.Dataset, keyframe int, eb float64) ([]byte, float64, error) {
+	var buf bytes.Buffer
+	w, err := archive.NewWriter(&buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	w.Keyframe = keyframe
+	cfg := codec.Config{ErrorBound: eb, Workers: -1}
+	start := time.Now()
+	for _, ds := range snaps {
+		if err := w.AddDataset(ds, cfg); err != nil {
+			return nil, 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, 0, err
+	}
+	return buf.Bytes(), time.Since(start).Seconds(), nil
+}
+
+// TemporalBench archives a six-snapshot drifting campaign intra-only and
+// in campaign mode (keyframe every 4) and measures size, throughput, and
+// the worst-case chain-decode latency.
+func TemporalBench(env *Env) (TemporalBenchResult, error) {
+	const (
+		steps    = 6
+		keyframe = 4
+		eb       = 1e9
+	)
+	res := TemporalBenchResult{Snapshots: steps, Keyframe: keyframe, ErrorBound: eb}
+	snaps, err := temporalCampaign(env, steps, eb)
+	if err != nil {
+		return res, err
+	}
+	for _, ds := range snaps {
+		res.OriginalBytes += int64(ds.OriginalBytes())
+	}
+
+	intra, intraSecs, err := writeCampaign(snaps, 0, eb)
+	if err != nil {
+		return res, err
+	}
+	delta, deltaSecs, err := writeCampaign(snaps, keyframe, eb)
+	if err != nil {
+		return res, err
+	}
+	res.IntraBytes = int64(len(intra))
+	res.DeltaBytes = int64(len(delta))
+	res.IntraRatio = float64(res.OriginalBytes) / float64(len(intra))
+	res.DeltaRatio = float64(res.OriginalBytes) / float64(len(delta))
+	res.Improvement = res.DeltaRatio / res.IntraRatio
+	res.IntraWriteMBps = float64(res.OriginalBytes) / 1e6 / intraSecs
+	res.DeltaWriteMBps = float64(res.OriginalBytes) / 1e6 / deltaSecs
+
+	dr, err := archive.Open(bytes.NewReader(delta), int64(len(delta)))
+	if err != nil {
+		return res, err
+	}
+	ir, err := archive.Open(bytes.NewReader(intra), int64(len(intra)))
+	if err != nil {
+		return res, err
+	}
+
+	// Deepest chain in the delta archive, and the bound across every
+	// member: the per-snapshot guarantee holds at every chain position.
+	deepest, depth := 0, 0
+	for mi := range dr.Members() {
+		d := 0
+		for at := mi; dr.Members()[at].Ref >= 0; at = dr.Members()[at].Ref {
+			d++
+		}
+		if d >= depth {
+			deepest, depth = mi, d
+		}
+		got, err := dr.Extract(mi)
+		if err != nil {
+			return res, err
+		}
+		for li, l := range snaps[mi].Levels {
+			gl := got.Levels[li]
+			for _, ord := range l.Mask.OccupiedIndices() {
+				bx, by, bz := l.Mask.Dim.Coords(ord)
+				r := l.BlockRegion(bx, by, bz)
+				for x := r.X0; x < r.X1; x++ {
+					for y := r.Y0; y < r.Y1; y++ {
+						for z := r.Z0; z < r.Z1; z++ {
+							i := l.Grid.Dim.Index(x, y, z)
+							if d := math.Abs(float64(l.Grid.Data[i]) - float64(gl.Grid.Data[i])); d > res.MaxErr {
+								res.MaxErr = d
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	res.ChainDepth = depth
+
+	memberBytes := float64(snaps[deepest].OriginalBytes())
+	start := time.Now()
+	if _, err := dr.Extract(deepest); err != nil {
+		return res, err
+	}
+	res.DeltaExtractMBps = memberBytes / 1e6 / time.Since(start).Seconds()
+	start = time.Now()
+	if _, err := ir.Extract(deepest); err != nil {
+		return res, err
+	}
+	res.IntraExtractMBps = memberBytes / 1e6 / time.Since(start).Seconds()
+	return res, nil
+}

@@ -68,6 +68,25 @@ func (m *Mask) CopyFrom(src *Mask) {
 	copy(m.words, src.words)
 }
 
+// Equal reports whether m and other have the same dims and the same bits.
+// The archive's temporal delta mode uses it to decide whether two
+// snapshots share an AMR structure at a level (delta frames are only
+// legal when the block layouts are bit-identical).
+func (m *Mask) Equal(other *Mask) bool {
+	if m == other {
+		return true
+	}
+	if m == nil || other == nil || m.Dim != other.Dim {
+		return false
+	}
+	for i, w := range m.words {
+		if w != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // And intersects m with other in place. The dims must match.
 func (m *Mask) And(other *Mask) {
 	if m.Dim != other.Dim {

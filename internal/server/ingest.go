@@ -109,6 +109,10 @@ func (s *Server) AddAppendFile(spec string, cfg codec.Config) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// Campaign mode: delta-code ingested members against the committed
+	// tail. The writer primes each field's reference from the newest
+	// committed member, so chains continue seamlessly across restarts.
+	w.Keyframe = s.cfg.IngestKeyframe
 	r, err := archive.Open(f, w.Stats().BytesWritten)
 	if err != nil {
 		f.Close()

@@ -76,6 +76,11 @@ type Config struct {
 	// behind the one being compressed; an arriving ingest finding the
 	// queue full is rejected with ErrBusy. 0 means DefaultIngestQueue.
 	IngestQueue int
+	// IngestKeyframe, when ≥ 2, makes ingested members delta-code against
+	// the archive's committed tail (archive.Writer.Keyframe): every K-th
+	// member per field is a keyframe bounding the reference chain. 0 or 1
+	// keeps ingest in intra mode, byte-identical to previous releases.
+	IngestKeyframe int
 }
 
 // archiveState is the immutable per-generation view of one archive: the
@@ -278,9 +283,29 @@ func (sa *servedArchive) member(st *archiveState, mi int) (*archive.Member, erro
 // cache key carries no generation: members are append-only and committed
 // frames immutable, so (member, level, batch) decodes identically under
 // every generation that contains it.
+//
+// Delta frames (campaign archives) resolve their reference chain through
+// this same path: the reference batch is fetched under its own canonical
+// key — so extracting member t warms the cache for every member on its
+// chain, each reconstruction stored exactly once — and only the final
+// residual decode runs here. Recursing inside the fill closure is safe:
+// singleflight runs fills with no locks held, and chain references are
+// strictly backward, so the keys strictly decrease and never collide
+// with a fill already in flight on this goroutine.
 func (s *Server) batch(sa *servedArchive, st *archiveState, mi, li, b int) (blocks, error) {
 	return s.cache.GetOrFill(Key{Archive: sa.name, Member: mi, Level: li, Batch: b}, func() (blocks, int64, error) {
-		v, err := st.r.DecodeBatch(mi, li, b)
+		ref, delta, err := st.r.BatchDep(mi, li, b)
+		if err != nil {
+			return nil, 0, err
+		}
+		var refs blocks
+		if delta {
+			refs, err = s.batch(sa, st, ref, li, b)
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		v, err := st.r.DecodeBatchOn(mi, li, b, refs)
 		if err != nil {
 			return nil, 0, err
 		}

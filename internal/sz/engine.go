@@ -165,6 +165,24 @@ func (e *Encoder[T]) Compress3D(g *grid.Grid3[T], opts Options) ([]byte, Stats, 
 
 // CompressBlocks is CompressBlocks reusing the encoder's scratch.
 func (e *Encoder[T]) CompressBlocks(blocks []*grid.Grid3[T], opts Options) ([]byte, Stats, error) {
+	return e.compressBlocksCapture(blocks, opts, nil)
+}
+
+// CompressBlocksCapture is CompressBlocks that additionally writes each
+// block's reconstruction — the values a decoder of the payload will
+// produce — into recons, which must hold one grid per block at the same
+// dims. The payload is byte-identical to CompressBlocks (the kernels are
+// the same; only the reconstruction destination changes). The archive's
+// delta mode uses it to retain a member's reconstruction as the
+// reference for the next snapshot without a decode round trip.
+func (e *Encoder[T]) CompressBlocksCapture(blocks []*grid.Grid3[T], opts Options, recons []*grid.Grid3[T]) ([]byte, Stats, error) {
+	if len(recons) != len(blocks) {
+		return nil, Stats{}, fmt.Errorf("sz: %d recon grids for %d blocks", len(recons), len(blocks))
+	}
+	return e.compressBlocksCapture(blocks, opts, recons)
+}
+
+func (e *Encoder[T]) compressBlocksCapture(blocks []*grid.Grid3[T], opts Options, recons []*grid.Grid3[T]) ([]byte, Stats, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, Stats{}, err
@@ -172,6 +190,13 @@ func (e *Encoder[T]) CompressBlocks(blocks []*grid.Grid3[T], opts Options) ([]by
 	d, total, eb, err := batchGeometry(blocks, opts)
 	if err != nil {
 		return nil, Stats{}, err
+	}
+	if recons != nil {
+		for i, r := range recons {
+			if r.Dim != d {
+				return nil, Stats{}, fmt.Errorf("sz: recon grid %d dims %v differ from %v", i, r.Dim, d)
+			}
+		}
 	}
 	per := d.Count()
 	radius := quantRadius(opts.QuantBits)
@@ -186,13 +211,27 @@ func (e *Encoder[T]) CompressBlocks(blocks []*grid.Grid3[T], opts Options) ([]by
 	if len(blocks) >= 4 {
 		reconLen = 4 * per
 	}
-	recon := e.reconBuf(reconLen)
+	var recon []T
+	if recons == nil {
+		recon = e.reconBuf(reconLen)
+	}
+	// rec returns the (zeroed) reconstruction destination for block i: the
+	// caller's capture grid, or slot of the pooled scratch.
+	rec := func(i, slot int) []T {
+		var r []T
+		if recons != nil {
+			r = recons[i].Data
+		} else {
+			r = recon[slot*per : (slot+1)*per]
+		}
+		clear(r)
+		return r
+	}
 	i := 0
 	for ; i+4 <= len(blocks); i += 4 {
-		clear(recon)
 		encodeBlockQuad(
 			blocks[i].Data, blocks[i+1].Data, blocks[i+2].Data, blocks[i+3].Data,
-			recon[:per], recon[per:2*per], recon[2*per:3*per], recon[3*per:4*per], d,
+			rec(i, 0), rec(i+1, 1), rec(i+2, 2), rec(i+3, 3), d,
 			codes[i*per:(i+1)*per], codes[(i+1)*per:(i+2)*per], codes[(i+2)*per:(i+3)*per], codes[(i+3)*per:(i+4)*per],
 			eb, radius)
 		for k := 0; k < 4; k++ {
@@ -200,14 +239,74 @@ func (e *Encoder[T]) CompressBlocks(blocks []*grid.Grid3[T], opts Options) ([]by
 		}
 	}
 	for ; i < len(blocks); i++ {
-		rec := recon[:per]
-		clear(rec)
 		var k int
-		lits, k = encodeBlock3(blocks[i].Data, rec, d, codes[i*per:(i+1)*per], lits, eb, radius)
+		lits, k = encodeBlock3(blocks[i].Data, rec(i, 0), d, codes[i*per:(i+1)*per], lits, eb, radius)
 		nlit += k
 	}
 	dims := []grid.Dims{d, {X: len(blocks)}} // block count rides in a dims record
 	return e.seal(kindBatch, dims, total, eb, opts, codes, lits, nlit)
+}
+
+// CompressBlocksDelta compresses a batch temporally: each block's values
+// are predicted from the reconstructed values of the same-shaped block in
+// refs (the previous snapshot as a decoder sees it), and only the
+// residual is quantized and entropy-coded. The residual check runs
+// against the CURRENT values with the CURRENT bound, so |v − recon| ≤ eb
+// holds for this snapshot regardless of chain depth — error does not
+// accumulate. recons, if non-nil, captures each block's reconstruction
+// (one grid per block, same dims) for use as the next snapshot's
+// reference. The payload kind is kindBatchDelta; it only decodes through
+// DecompressBlocksDelta with the same refs.
+func (e *Encoder[T]) CompressBlocksDelta(blocks, refs []*grid.Grid3[T], opts Options, recons []*grid.Grid3[T]) ([]byte, Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	d, total, eb, err := batchGeometry(blocks, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if len(refs) != len(blocks) {
+		return nil, Stats{}, fmt.Errorf("sz: %d reference blocks for %d blocks", len(refs), len(blocks))
+	}
+	for i, r := range refs {
+		if r.Dim != d {
+			return nil, Stats{}, fmt.Errorf("sz: reference block %d dims %v differ from %v", i, r.Dim, d)
+		}
+	}
+	if recons != nil {
+		if len(recons) != len(blocks) {
+			return nil, Stats{}, fmt.Errorf("sz: %d recon grids for %d blocks", len(recons), len(blocks))
+		}
+		for i, r := range recons {
+			if r.Dim != d {
+				return nil, Stats{}, fmt.Errorf("sz: recon grid %d dims %v differ from %v", i, r.Dim, d)
+			}
+		}
+	}
+	per := d.Count()
+	radius := quantRadius(opts.QuantBits)
+	codes := e.codesBuf(total)
+	lits := e.lits[:0]
+	nlit := 0
+	recon := e.reconBuf(per)
+	for i := range blocks {
+		rec := recon
+		if recons != nil {
+			rec = recons[i].Data
+		}
+		var k int
+		lits, k = encodeTemporalBlock(blocks[i].Data, refs[i].Data, rec, codes[i*per:(i+1)*per], lits, eb, radius)
+		nlit += k
+	}
+	dims := []grid.Dims{d, {X: len(blocks)}}
+	return e.seal(kindBatchDelta, dims, total, eb, opts, codes, lits, nlit)
+}
+
+// CompressBlocksDelta is the one-shot form of Encoder.CompressBlocksDelta.
+func CompressBlocksDelta[T grid.Float](blocks, refs []*grid.Grid3[T], opts Options) ([]byte, Stats, error) {
+	var e Encoder[T]
+	return e.CompressBlocksDelta(blocks, refs, opts, nil)
 }
 
 // batchGeometry validates a block batch and resolves its shared shape,
@@ -459,10 +558,32 @@ func (d *Decoder[T]) DecompressBlocks(blob []byte) ([]*grid.Grid3[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	// One scan yields every block's literal-pool offset AND validates the
-	// pool size, so the kernels below run with no per-element checks and
-	// groups of four blocks can decode in lock step (see kernel_quad.go).
 	per := bd.Count()
+	litOff, err := d.litOffsets(codes, per, count, lits)
+	if err != nil {
+		return nil, err
+	}
+	twoEB := 2 * hdr.eb
+	radius := quantRadius(hdr.quantBits)
+	out := grid.NewBlocks[T](bd, count)
+	i := 0
+	for ; i+4 <= count; i += 4 {
+		decodeBlockQuad(
+			out[i].Data, out[i+1].Data, out[i+2].Data, out[i+3].Data, bd,
+			codes[i*per:(i+1)*per], codes[(i+1)*per:(i+2)*per], codes[(i+2)*per:(i+3)*per], codes[(i+3)*per:(i+4)*per],
+			lits, litOff[i], litOff[i+1], litOff[i+2], litOff[i+3], twoEB, radius)
+	}
+	for ; i < count; i++ {
+		decodeBlock3(out[i].Data, bd, codes[i*per:(i+1)*per], lits[litOff[i]:litOff[i+1]], twoEB, radius)
+	}
+	return out, nil
+}
+
+// litOffsets computes every block's literal-pool offset in one scan over
+// the code stream AND validates the pool size, so the kernels run with no
+// per-element checks (and, for intra batches, groups of four blocks can
+// decode in lock step — see kernel_quad.go).
+func (d *Decoder[T]) litOffsets(codes []uint32, per, count int, lits []byte) ([]int, error) {
 	litSize := literalSize[T]()
 	if cap(d.litOff) < count+1 {
 		d.litOff = make([]int, count+1)
@@ -481,18 +602,48 @@ func (d *Decoder[T]) DecompressBlocks(blob []byte) ([]*grid.Grid3[T], error) {
 	if litOff[count] > len(lits) {
 		return nil, fmt.Errorf("sz: literal pool holds %d bytes, need %d", len(lits), litOff[count])
 	}
+	return litOff, nil
+}
+
+// DecompressBlocksDelta decodes a temporal (kindBatchDelta) batch given
+// the reconstructed reference blocks it was encoded against — one grid
+// per block, same dims, read only. It is the inverse of
+// CompressBlocksDelta; passing different references than the encoder used
+// yields wrong values (but never a panic or out-of-bounds access).
+func (d *Decoder[T]) DecompressBlocksDelta(blob []byte, refs []*grid.Grid3[T]) ([]*grid.Grid3[T], error) {
+	hdr, codes, lits, err := d.unseal(blob, kindBatchDelta)
+	if err != nil {
+		return nil, err
+	}
+	bd, count, err := hdr.batchGeometry()
+	if err != nil {
+		return nil, err
+	}
+	if len(refs) != count {
+		return nil, fmt.Errorf("sz: %d reference blocks for %d blocks", len(refs), count)
+	}
+	for i, r := range refs {
+		if r.Dim != bd {
+			return nil, fmt.Errorf("sz: reference block %d dims %v differ from %v", i, r.Dim, bd)
+		}
+	}
+	per := bd.Count()
+	litOff, err := d.litOffsets(codes, per, count, lits)
+	if err != nil {
+		return nil, err
+	}
 	twoEB := 2 * hdr.eb
 	radius := quantRadius(hdr.quantBits)
 	out := grid.NewBlocks[T](bd, count)
-	i := 0
-	for ; i+4 <= count; i += 4 {
-		decodeBlockQuad(
-			out[i].Data, out[i+1].Data, out[i+2].Data, out[i+3].Data, bd,
-			codes[i*per:(i+1)*per], codes[(i+1)*per:(i+2)*per], codes[(i+2)*per:(i+3)*per], codes[(i+3)*per:(i+4)*per],
-			lits, litOff[i], litOff[i+1], litOff[i+2], litOff[i+3], twoEB, radius)
-	}
-	for ; i < count; i++ {
-		decodeBlock3(out[i].Data, bd, codes[i*per:(i+1)*per], lits[litOff[i]:litOff[i+1]], twoEB, radius)
+	for i := 0; i < count; i++ {
+		decodeTemporalBlock(out[i].Data, refs[i].Data, codes[i*per:(i+1)*per], lits[litOff[i]:litOff[i+1]], twoEB, radius)
 	}
 	return out, nil
+}
+
+// DecompressBlocksDelta is the one-shot form of
+// Decoder.DecompressBlocksDelta.
+func DecompressBlocksDelta[T grid.Float](blob []byte, refs []*grid.Grid3[T]) ([]*grid.Grid3[T], error) {
+	var d Decoder[T]
+	return d.DecompressBlocksDelta(blob, refs)
 }

@@ -1,7 +1,10 @@
 package sz
 
 import (
+	"fmt"
 	"math"
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/grid"
@@ -53,7 +56,51 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 		tb.Fatal(err)
 	}
 	seeds = append(seeds, b2)
+
+	// A temporal (kindBatchDelta) payload: blocks predicted from a drifted
+	// reference snapshot, exercising the delta decode surface.
+	refs := make([]*grid.Grid3[float32], len(blocks))
+	for i, b := range blocks {
+		r := b.Clone()
+		for j := range r.Data {
+			r.Data[j] += 0.03
+		}
+		refs[i] = r
+	}
+	bd, _, err := CompressBlocksDelta(blocks, refs, Options{ErrorBound: 1e-2})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seeds = append(seeds, bd)
 	return seeds
+}
+
+// TestWriteDeltaSeedCorpus writes the temporal-payload seeds into the
+// checked-in corpora under testdata/fuzz when UPDATE_FUZZ_SEEDS=1 is set
+// (a no-op otherwise), so CI's deterministic fuzz runs cover the delta
+// decode path without relying on in-process f.Add ordering.
+func TestWriteDeltaSeedCorpus(t *testing.T) {
+	if os.Getenv("UPDATE_FUZZ_SEEDS") == "" {
+		t.Skip("set UPDATE_FUZZ_SEEDS=1 to rewrite testdata/fuzz delta seeds")
+	}
+	seeds := fuzzSeeds(t)
+	delta := seeds[len(seeds)-1] // the kindBatchDelta payload is appended last
+	write := func(dir, name string, data []byte) {
+		t.Helper()
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if err := os.WriteFile(dir+"/"+name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("testdata/fuzz/FuzzParseHeader", "seed_delta0", delta)
+	write("testdata/fuzz/FuzzDecompress", "seed_delta0", delta)
+	write("testdata/fuzz/FuzzDecompress", "seed_delta1", delta[:len(delta)-3]) // torn tail
+	mut := append([]byte(nil), delta...)
+	mut[len(mut)/3] ^= 0x40
+	write("testdata/fuzz/FuzzDecompress", "seed_delta2", mut) // bit-flipped body
 }
 
 // FuzzParseHeader fuzzes the header parser and the header-only PeekBatch
@@ -108,5 +155,13 @@ func FuzzDecompress(f *testing.F) {
 		_, _ = DecompressBlocks[float32](data)
 		_, _ = DecompressBlocksParallel[float32](data, 3)
 		_, _ = DecompressBlocksParallel[float64](data, 2)
+		// Delta decode with a reference batch matching whatever geometry the
+		// payload claims (bounded), so corrupt bodies reach the temporal
+		// kernel rather than dying at the shape check.
+		if info, err := PeekBatch(data); err == nil &&
+			info.Blocks <= 64 && info.BlockDims.Count() <= 4096 {
+			refs := grid.NewBlocks[float32](info.BlockDims, info.Blocks)
+			_, _ = DecompressBlocksDelta(data, refs)
+		}
 	})
 }

@@ -113,6 +113,12 @@ const (
 	kindRaw1D  = 1
 	kindGrid3D = 2
 	kindBatch  = 3
+	// kindBatchDelta is a block batch whose residuals are taken against
+	// the reconstructed values of a reference batch of identical shape
+	// (temporal prediction). The payload layout is exactly kindBatch's;
+	// only the predictor differs, so a delta stream is undecodable
+	// without its reference — DecompressBlocksDelta demands it.
+	kindBatchDelta = 4
 )
 
 // Compress1D compresses values as a 1D stream with an order-1 predictor
@@ -512,6 +518,10 @@ type BatchInfo struct {
 	Blocks      int       // number of blocks
 	EffectiveEB float64   // absolute error bound baked into the stream
 	QuantBits   int
+	// Delta reports a temporally-predicted batch (kindBatchDelta): the
+	// stream only decodes against the reconstructed reference batch it
+	// was encoded from.
+	Delta bool
 }
 
 // DecodedBytes returns the in-memory footprint of the batch once decoded
@@ -522,22 +532,23 @@ func (bi BatchInfo) DecodedBytes(elemBytes int) int64 {
 	return int64(bi.Blocks) * int64(bi.BlockDims.Count()) * int64(elemBytes)
 }
 
-// PeekBatch parses only the header of a CompressBlocks payload, letting
-// callers (the archive reader, listings) validate geometry or report the
+// PeekBatch parses only the header of a CompressBlocks or
+// CompressBlocksDelta payload, letting callers (the archive reader,
+// listings) validate geometry, learn the coding mode, or report the
 // applied bound without paying for entropy decoding.
 func PeekBatch(blob []byte) (BatchInfo, error) {
 	h, _, err := parseHeader(blob)
 	if err != nil {
 		return BatchInfo{}, err
 	}
-	if h.kind != kindBatch {
-		return BatchInfo{}, fmt.Errorf("sz: payload kind %d, want %d", h.kind, kindBatch)
+	if h.kind != kindBatch && h.kind != kindBatchDelta {
+		return BatchInfo{}, fmt.Errorf("sz: payload kind %d, want %d or %d", h.kind, kindBatch, kindBatchDelta)
 	}
 	d, count, err := h.batchGeometry()
 	if err != nil {
 		return BatchInfo{}, err
 	}
-	return BatchInfo{BlockDims: d, Blocks: count, EffectiveEB: h.eb, QuantBits: h.quantBits}, nil
+	return BatchInfo{BlockDims: d, Blocks: count, EffectiveEB: h.eb, QuantBits: h.quantBits, Delta: h.kind == kindBatchDelta}, nil
 }
 
 // unseal parses a payload and returns the header, code stream and literal
