@@ -25,17 +25,18 @@ import (
 
 // report is the -json output schema.
 type report struct {
-	Scale      int                             `json:"scale"`
-	GoMaxProcs int                             `json:"gomaxprocs"`
-	Exhibits   []exhibitTiming                 `json:"exhibits"`
-	Archive    experiments.ArchiveBenchResult  `json:"archive"`
-	Engine     experiments.EngineBenchResult   `json:"engine"`
-	Entropy    experiments.EntropyBenchResult  `json:"entropy"`
-	Predict    experiments.PredictBenchResult  `json:"predict"`
-	Serve      experiments.ServeBenchResult    `json:"serve"`
-	Ingest     experiments.IngestBenchResult   `json:"ingest"`
-	Temporal   experiments.TemporalBenchResult `json:"temporal"`
-	TotalSecs  float64                         `json:"total_seconds"`
+	Scale      int                              `json:"scale"`
+	GoMaxProcs int                              `json:"gomaxprocs"`
+	Exhibits   []exhibitTiming                  `json:"exhibits"`
+	Archive    experiments.ArchiveBenchResult   `json:"archive"`
+	Engine     experiments.EngineBenchResult    `json:"engine"`
+	Entropy    experiments.EntropyBenchResult   `json:"entropy"`
+	Predict    experiments.PredictBenchResult   `json:"predict"`
+	Serve      experiments.ServeBenchResult     `json:"serve"`
+	Ingest     experiments.IngestBenchResult    `json:"ingest"`
+	Temporal   experiments.TemporalBenchResult  `json:"temporal"`
+	Integrity  experiments.IntegrityBenchResult `json:"integrity"`
+	TotalSecs  float64                          `json:"total_seconds"`
 }
 
 type exhibitTiming struct {
@@ -110,6 +111,11 @@ func main() {
 			log.Fatalf("temporal bench: %v", err)
 		}
 		rep.Temporal = tmp
+		integ, err := experiments.IntegrityBench(env)
+		if err != nil {
+			log.Fatalf("integrity bench: %v", err)
+		}
+		rep.Integrity = integ
 		rep.TotalSecs = time.Since(start).Seconds()
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -136,6 +142,9 @@ func main() {
 			tmp.Snapshots, tmp.Keyframe, tmp.IntraRatio, tmp.DeltaRatio, tmp.Improvement,
 			tmp.IntraWriteMBps, tmp.DeltaWriteMBps, tmp.ChainDepth,
 			tmp.DeltaExtractMBps, tmp.IntraExtractMBps, tmp.MaxErr)
+		fmt.Printf("[integrity: %d frames +%d footer bytes, read %.1f -> %.1f MB/s (%.2fx), scrub %.1f MB/s, flips %d/%d detected]\n",
+			integ.Frames, integ.FooterGrowth, integ.PlainReadMBps, integ.SummedReadMBps,
+			integ.VerifyOverhead, integ.ScrubMBps, integ.FlipsDetected, integ.FlipsInjected)
 	}
 	fmt.Printf("\n[benchall completed in %v at scale 1/%d]\n", time.Since(start).Round(time.Second), *scale)
 }

@@ -9,7 +9,8 @@
 //	tacc decompress in.tacz out.amr
 //	tacc info       in.amr
 //	tacc verify     [-codec TAC] [-eb 1e9] [-rel] in.amr    (round-trip check)
-//	tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] [-append] [-delta] [-keyframe 8] out.taca in.amr...
+//	tacc verify     in.taca                                 (archive scrub; non-zero exit on damage)
+//	tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] [-append] [-delta] [-keyframe 8] [-sum] out.taca in.amr...
 //	tacc ls         in.taca
 //	tacc extract    [-member 0] [-level -1] [-roi x0:x1,y0:y1,z0:z1] in.taca out.amr
 //
@@ -24,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -119,8 +121,9 @@ func usage() {
   tacc decompress in.tacz out.amr
   tacc info       in.amr
   tacc verify     [-codec ...] [-eb ...] [-rel] in.amr
+  tacc verify     in.taca    (archive scrub; non-zero exit on damage)
   tacc errmap     [-codec ...] [-eb ...] [-rel] [-level 0] [-slice -1] in.amr out.png
-  tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] [-append] [-delta] [-keyframe 8] out.taca in.amr...
+  tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] [-append] [-delta] [-keyframe 8] [-sum] out.taca in.amr...
   tacc ls         in.taca
   tacc extract    [-member 0] [-level -1] [-roi x0:x1,y0:y1,z0:z1] in.taca out.amr`)
 	os.Exit(2)
@@ -239,7 +242,16 @@ func info(args []string) {
 	fmt.Println("structure: valid")
 }
 
+// verify has two modes, dispatched on the file's magic: a .taca archive
+// is scrubbed in place (every frame of every member verified — by stored
+// digest on checksummed archives, by full decode otherwise) and damage
+// exits non-zero; anything else is the original compress/decompress
+// round-trip distortion check.
 func verify(args []string) {
+	if len(args) > 0 && isArchive(args[len(args)-1]) {
+		verifyArchive(args[len(args)-1])
+		return
+	}
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	c, cfg, rest := parseCfg(fs, args)
 	if len(rest) != 1 {
@@ -265,6 +277,53 @@ func verify(args []string) {
 		c.Name(), metrics.CompressionRatio(ds.OriginalBytes(), len(blob)), dist.PSNR(), dist.MaxErr)
 }
 
+// isArchive sniffs the TACA magic so verify dispatches on content, not
+// file naming.
+func isArchive(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return false
+	}
+	return string(magic[:]) == "TACA"
+}
+
+// verifyArchive scrubs every frame of every member and exits non-zero if
+// any damage is found, so cron jobs and CI can gate on the exit status.
+func verifyArchive(path string) {
+	r, err := archive.OpenFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	frames := 0
+	for _, m := range r.Members() {
+		for li := range m.Levels {
+			frames += len(m.Levels[li].Batches)
+		}
+	}
+	mode := "decode-verified (no stored digests; archive predates -sum)"
+	if r.Checksummed() {
+		mode = "digest-verified"
+	}
+	t0 := time.Now()
+	issues := r.Scrub()
+	dt := time.Since(t0)
+	if len(issues) > 0 {
+		for _, is := range issues {
+			fmt.Fprintf(os.Stderr, "tacc: DAMAGED %s\n", is)
+		}
+		log.Fatalf("%s: %d of %d frames damaged (%d members, %s)",
+			path, len(issues), frames, len(r.Members()), mode)
+	}
+	fmt.Printf("%s: %d members, %d frames %s in %v — clean\n",
+		path, len(r.Members()), frames, mode, dt.Round(time.Millisecond))
+}
+
 // archiveCmd compresses a sequence of .amr snapshots into one seekable
 // .taca archive, streaming each member out as it is compressed. With
 // -append the archive is grown in place: new members land after the
@@ -284,6 +343,7 @@ func archiveCmd(args []string) {
 	appendTo := fs.Bool("append", false, "append to an existing archive instead of creating it")
 	delta := fs.Bool("delta", false, "campaign mode: delta-code members against their predecessors")
 	keyframe := fs.Int("keyframe", 8, "with -delta, keyframe interval bounding reference chains")
+	sum := fs.Bool("sum", false, "store per-frame digests so reads and 'tacc verify' detect corruption")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -328,6 +388,12 @@ func archiveCmd(args []string) {
 	w.BatchBlocks = *batch
 	if *delta {
 		w.Keyframe = *keyframe
+	}
+	if *sum {
+		// Appends to an already-checksummed archive inherit the flag;
+		// -sum on a legacy archive upgrades it (existing frames get
+		// digests backfilled at commit). It never downgrades.
+		w.Checksums = true
 	}
 	t0 := time.Now()
 	var orig int64

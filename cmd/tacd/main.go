@@ -8,6 +8,8 @@
 //
 //	tacd [-listen :8080] [-cache-mb 256] [-shards 16] [-workers 0]
 //	     [-ingest] [-ingest-queue 4] [-keyframe 0] [-eb 0]
+//	     [-read-header-timeout 10s] [-read-timeout 5m] [-idle-timeout 2m]
+//	     [-request-timeout 0] [-scrub-interval 0]
 //	     archive.taca [name=other.taca ...]
 //
 // Each positional argument registers one archive, served under its base
@@ -57,6 +59,11 @@ func main() {
 	keyframe := flag.Int("keyframe", 0, "delta-code ingested members with this keyframe interval (0 = intra only)")
 	eb := flag.Float64("eb", 0, "error bound for ingested snapshots (0 = inherit from the archive's newest member)")
 	drainWait := flag.Duration("drain-wait", 30*time.Second, "graceful shutdown budget for in-flight requests")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "time budget for a client to send its request headers (slowloris guard)")
+	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "time budget for a client to send a full request, ingest bodies included (0 = unbounded)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "how long an idle keep-alive connection is held open")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request extraction deadline; overruns answer 504 (0 = unbounded)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "background scrub period: verify every frame and quarantine damaged members (0 = off)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: tacd [-listen :8080] [-cache-mb 256] [-shards 16] [-workers 0] [-ingest] archive.taca [name=other.taca ...]")
 		flag.PrintDefaults()
@@ -76,6 +83,8 @@ func main() {
 		Workers:        *workers,
 		IngestQueue:    *ingestQueue,
 		IngestKeyframe: *keyframe,
+		RequestTimeout: *requestTimeout,
+		ScrubInterval:  *scrubInterval,
 	})
 	for _, spec := range flag.Args() {
 		var name string
@@ -97,7 +106,16 @@ func main() {
 	log.Printf("listening on %s (%d archives, cache %d MiB / %d shards)",
 		*listen, len(s.Names()), *cacheMB, *shards)
 
-	srv := &http.Server{Addr: *listen, Handler: s.Handler()}
+	// No WriteTimeout: level and snapshot responses stream and can
+	// legitimately take a while on slow links; the read-side timeouts are
+	// what keep a hostile client from pinning connections open for free.
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 

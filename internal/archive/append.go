@@ -50,6 +50,9 @@ func OpenAppend(f *os.File) (*Writer, error) {
 		off:       rd.size,
 		members:   rd.members,
 		committed: rd.gen + 1,
+		// A checksummed tail keeps its digests: new frames are digested as
+		// they stream out instead of being read back at Commit.
+		Checksums: rd.sums,
 		// The committed tail doubles as the delta-reference source: if the
 		// appender enables Keyframe, the first member of each field primes
 		// its reference by decoding the field's newest committed member.

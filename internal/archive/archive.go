@@ -58,10 +58,26 @@
 // always point strictly backward in the member index, so chains terminate
 // by construction; the reader resolves them transparently, and keyframes
 // every K members bound the depth (see Writer.Keyframe).
+//
+// Integrity (checksums) — format v3: a writer with Checksums on records a
+// CRC32C (Castagnoli) digest of every frame in the footer and commits
+// with the v3 footer layout — the v2 index plus, per batch, the digest
+// varint after the coding-mode flags — sealed by the trailer magic
+//
+//	trailer₄  uint64 LE footer length + uint64 LE generation + "TACAEND4"
+//
+// (same 24-byte shape again, legal at generation 0). Readers verify the
+// digest of every frame they read before any bytes reach the codec, so a
+// flipped bit inside a compressed payload surfaces as ErrCorrupt instead
+// of silently wrong field values; Reader.Scrub audits every frame of the
+// archive the same way without decoding. Checksums are strictly opt-in:
+// with them off the output stays byte-identical to the v1/v2 formats
+// above, and v1–v3 archives (no digests) remain fully readable.
 package archive
 
 import (
 	"fmt"
+	"hash/crc32"
 	"math"
 
 	"repro/internal/bitio"
@@ -82,6 +98,7 @@ const (
 	trailerLen  = 16 // generation-0 trailer: footer length + magic
 	trailer2Len = 24 // appended generations: footer length + generation + magic
 	trailer3Len = 24 // v2 (delta-bearing) footer: footer length + generation + magic
+	trailer4Len = 24 // v3 (checksummed) footer: footer length + generation + magic
 )
 
 var (
@@ -89,7 +106,14 @@ var (
 	trailerMagic  = [8]byte{'T', 'A', 'C', 'A', 'E', 'N', 'D', '1'}
 	trailer2Magic = [8]byte{'T', 'A', 'C', 'A', 'E', 'N', 'D', '2'}
 	trailer3Magic = [8]byte{'T', 'A', 'C', 'A', 'E', 'N', 'D', '3'}
+	trailer4Magic = [8]byte{'T', 'A', 'C', 'A', 'E', 'N', 'D', '4'}
 )
+
+// castagnoli is the CRC32C table frame digests are computed with. The
+// Castagnoli polynomial has hardware support (SSE4.2 / ARMv8 CRC) through
+// hash/crc32, so checksumming runs at memory speed on the platforms the
+// serving layer targets.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // BatchRecord locates one block-batch frame in the archive.
 type BatchRecord struct {
@@ -110,6 +134,12 @@ type LevelIndex struct {
 	// batch of the member's reference (Member.Ref). nil — the only state
 	// a v1 footer can produce — means all-intra.
 	Delta []bool
+
+	// Sums holds the CRC32C digest of every batch frame's raw bytes,
+	// parallel to Batches. nil — the only state a v1/v2 footer can
+	// produce — means the level carries no digests and frame reads are
+	// verified structurally only.
+	Sums []uint32
 
 	// occupied caches Mask.Count(), set by the reader and writer index
 	// builders so the serving hot paths do not popcount the mask per
@@ -223,11 +253,15 @@ func needV2(members []Member) bool {
 	return false
 }
 
-// encodeFooter serializes the member index. The v2 layout interleaves the
-// dependency links: per member a reference index (+1, 0 = none) and
-// generation after QuantBits, and per batch a coding-mode flag varint
-// after the batch records.
-func encodeFooter(members []Member, v2 bool) ([]byte, error) {
+// encodeFooter serializes the member index at the given footer version.
+// The v2 layout interleaves the dependency links: per member a reference
+// index (+1, 0 = none) and generation after QuantBits, and per batch a
+// coding-mode flag varint after the batch records. The v3 layout is v2
+// plus, per batch, the frame's CRC32C digest varint after the mode flags
+// — all-or-nothing: every level of every member must carry digests.
+func encodeFooter(members []Member, ver int) ([]byte, error) {
+	v2 := ver >= 2
+	sums := ver >= 3
 	var out []byte
 	out = bitio.AppendUvarint(out, uint64(len(members)))
 	for mi := range members {
@@ -281,17 +315,31 @@ func encodeFooter(members []Member, v2 bool) ([]byte, error) {
 					out = bitio.AppendUvarint(out, flag)
 				}
 			}
+			if sums {
+				if len(li.Sums) != len(li.Batches) {
+					return nil, fmt.Errorf("archive: member %d level %d has %d checksums for %d batches", mi, i, len(li.Sums), len(li.Batches))
+				}
+				for _, s := range li.Sums {
+					out = bitio.AppendUvarint(out, uint64(s))
+				}
+			} else if li.Sums != nil && len(li.Sums) != 0 {
+				return nil, fmt.Errorf("archive: member %d level %d carries checksums but footer is v%d", mi, i, ver)
+			}
 		}
 	}
 	return out, nil
 }
 
-// decodeFooter parses the member index. v2 selects the delta-aware layout
-// (signaled by the TACAEND3 trailer); the dependency links it carries are
-// validated here so no hostile footer can smuggle a cycle, a forward or
-// self reference, or a delta batch whose reference has a different AMR
-// structure — every such link is rejected before any frame is read.
-func decodeFooter(buf []byte, v2 bool) ([]Member, error) {
+// decodeFooter parses the member index at the given footer version: 2
+// selects the delta-aware layout (signaled by the TACAEND3 trailer), 3
+// additionally reads per-batch CRC32C digests (TACAEND4). The dependency
+// links the v2+ layouts carry are validated here so no hostile footer can
+// smuggle a cycle, a forward or self reference, or a delta batch whose
+// reference has a different AMR structure — every such link is rejected
+// before any frame is read.
+func decodeFooter(buf []byte, ver int) ([]Member, error) {
+	v2 := ver >= 2
+	sums := ver >= 3
 	u := func() (uint64, error) {
 		v, n, err := bitio.Uvarint(buf)
 		if err != nil {
@@ -475,6 +523,19 @@ func decodeFooter(buf []byte, v2 bool) ([]Member, error) {
 							li.Delta = make([]bool, nb)
 						}
 						li.Delta[b] = true
+					}
+				}
+				if sums {
+					li.Sums = make([]uint32, nb)
+					for b := uint64(0); b < nb; b++ {
+						s, err := u()
+						if err != nil {
+							return nil, fmt.Errorf("archive: member %d level %d batch %d checksum: %w", mi, liIdx, b, err)
+						}
+						if s > math.MaxUint32 {
+							return nil, fmt.Errorf("archive: member %d level %d batch %d has implausible checksum %#x", mi, liIdx, b, s)
+						}
+						li.Sums[b] = uint32(s)
 					}
 				}
 				if li.Delta != nil {

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"slices"
 	"strconv"
 	"strings"
 	"testing"
 
+	"repro/internal/amr"
 	"repro/internal/codec"
 )
 
@@ -119,6 +121,92 @@ func TestFrameDamageIsErrCorrupt(t *testing.T) {
 	}
 	if !sawErr {
 		t.Skip("no frame flip produced an error on this payload")
+	}
+}
+
+// TestDeltaCorruptionBlastRadius bit-flips one frame of a checksummed
+// campaign archive and maps the damage: every member whose reference
+// chain passes through the damaged frame must fail with ErrCorrupt —
+// never reconstruct from a poisoned reference — and every other member
+// must extract byte-identical to the clean archive.
+func TestDeltaCorruptionBlastRadius(t *testing.T) {
+	const keyframe = 3
+	snaps := testCampaign(t, 6)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.BatchBlocks = 16
+	w.Keyframe = keyframe
+	w.Checksums = true
+	for _, ds := range snaps {
+		if err := w.AddDataset(ds, codec.Config{ErrorBound: testEB}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	clean, err := Open(bytes.NewReader(blob), int64(len(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Member layout at keyframe 3: 0 (key), 1→0, 2→1, 3 (key), 4→3, 5→4.
+	for i, wantRef := range []int{-1, 0, 1, -1, 3, 4} {
+		if got := clean.Members()[i].Ref; got != wantRef {
+			t.Fatalf("member %d references %d, want %d — campaign layout changed under the test", i, got, wantRef)
+		}
+	}
+	want := make([]*amr.Dataset, len(snaps))
+	for i := range snaps {
+		if want[i], err = clean.Extract(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cases := []struct {
+		name    string
+		damage  int   // member whose frame gets the flip
+		poisons []int // members that must fail (the chain closure)
+	}{
+		{"keyframe", 0, []int{0, 1, 2}},
+		{"mid-chain delta", 4, []int{4, 5}},
+		{"chain tail", 2, []int{2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := clean.Members()[tc.damage].Levels[0].Batches[0]
+			damaged := append([]byte(nil), blob...)
+			damaged[rec.Offset+rec.Length/2] ^= 0x20
+			dr, err := Open(bytes.NewReader(damaged), int64(len(damaged)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			poisoned := make(map[int]bool, len(tc.poisons))
+			for _, mi := range tc.poisons {
+				poisoned[mi] = true
+			}
+			for mi := range snaps {
+				ds, err := dr.Extract(mi)
+				if poisoned[mi] {
+					if !errors.Is(err, ErrCorrupt) {
+						t.Fatalf("member %d depends on damaged member %d but extracted (err=%v)", mi, tc.damage, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("member %d does not depend on damaged member %d but failed: %v", mi, tc.damage, err)
+				}
+				for li := range ds.Levels {
+					if !slices.Equal(ds.Levels[li].Grid.Data, want[mi].Levels[li].Grid.Data) {
+						t.Fatalf("member %d level %d differs from the clean extraction", mi, li)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -364,7 +364,7 @@ func TestHostileDependencyLinks(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if _, err := decodeFooter(tc.footer(t), true); err == nil {
+			if _, err := decodeFooter(tc.footer(t), 2); err == nil {
 				t.Fatalf("hostile footer (%s) decoded without error", tc.name)
 			}
 		})
@@ -376,7 +376,7 @@ func TestHostileDependencyLinks(t *testing.T) {
 	out := bitio.AppendUvarint(nil, 2)
 	out = rawV2Member(t, out, "m0", 0, 0, 4, 64, intra)
 	out = rawV2Member(t, out, "m1", 1, 0, 4, 64, delta)
-	members, err := decodeFooter(out, true)
+	members, err := decodeFooter(out, 2)
 	if err != nil {
 		t.Fatalf("well-formed raw footer rejected: %v", err)
 	}

@@ -98,6 +98,41 @@ func FuzzOpen(f *testing.F) {
 	flip[len(flip)-trailer3Len-10] ^= 0x08 // corrupt a footer byte near the links
 	f.Add(flip)
 
+	// Seeds 7-8: a v3 checksummed campaign archive (digests under
+	// TACAEND4) and a flip in its digest region, so the mutation engine
+	// attacks the sum varints and the checksum-verified read path.
+	spath := filepath.Join(dir, "sums.taca")
+	sfl, err := os.Create(spath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sw, err := NewWriter(sfl)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sw.BatchBlocks = 8
+	sw.Keyframe = 3
+	sw.Checksums = true
+	prev = mkSnap("c0", 13)
+	for i := 0; i < 3; i++ {
+		if err := sw.AddDataset(prev, codec.Config{ErrorBound: 1e9}); err != nil {
+			f.Fatal(err)
+		}
+		prev = driftDataset(prev, "c"+string(rune('1'+i)), 1e9, int64(10+i))
+	}
+	if err := sw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	sfl.Close()
+	sv3, err := os.ReadFile(spath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sv3)
+	sflip := append([]byte(nil), sv3...)
+	sflip[len(sflip)-trailer4Len-6] ^= 0x11 // corrupt a footer byte near the digests
+	f.Add(sflip)
+
 	f.Fuzz(func(t *testing.T, b []byte) {
 		if len(b) > 1<<20 {
 			return

@@ -3,6 +3,7 @@ package archive
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"runtime"
@@ -15,12 +16,21 @@ import (
 
 // ErrCorrupt tags every failure caused by a damaged or truncated archive
 // file: a trailer or index that does not parse, frame bytes the codec
-// rejects, or reads that run off the data section. Callers branch on it
-// with errors.Is to distinguish archive damage from usage errors (unknown
+// rejects, a frame whose CRC32C digest does not match the footer's, or
+// reads that run off the data section. Callers branch on it with
+// errors.Is to distinguish archive damage from usage errors (unknown
 // member, bad level index), and every ErrCorrupt-wrapped message carries
 // the member/level/batch it was detected in — no raw io error ever
 // surfaces bare.
 var ErrCorrupt = errors.New("corrupt or truncated archive")
+
+// ErrIO additionally tags ErrCorrupt failures whose proximate cause was
+// the io.ReaderAt itself — a failed or short frame read — as opposed to
+// bytes that were read intact but do not verify. I/O failures are the
+// transient class (a flaky disk, a dropped connection to remote storage):
+// the serving layer retries errors.Is(err, ErrIO) with backoff, while
+// deterministic corruption counts toward quarantining the member.
+var ErrIO = errors.New("read error")
 
 // Reader is a random-access view of a TACA archive. Open parses only the
 // footer index; every extraction then reads exactly the frames it needs
@@ -34,8 +44,14 @@ type Reader struct {
 	r       io.ReaderAt
 	size    int64 // end of the generation this Reader parsed, ≤ the file size
 	gen     uint64
+	sums    bool // footer is v3: every frame carries a CRC32C digest
 	members []Member
 }
+
+// Checksummed reports whether the archive's footer carries per-frame
+// CRC32C digests (format v3): every frame read is then verified, and
+// Scrub audits without decoding.
+func (r *Reader) Checksummed() bool { return r.sums }
 
 // Open reads and parses the archive index from r, which must cover size
 // bytes. If the tail of the file is torn — a crash mid-append left a
@@ -79,7 +95,7 @@ func openAt(r io.ReaderAt, end int64) (*Reader, error) {
 	}
 	var tlen int64
 	var gen uint64
-	v2 := false
+	ver := 1
 	switch [8]byte(magic) {
 	case trailerMagic:
 		tlen = trailerLen
@@ -92,8 +108,15 @@ func openAt(r io.ReaderAt, end int64) (*Reader, error) {
 		// Same 24-byte shape as trailer₂, but signals the v2 (delta-aware)
 		// footer layout and is legal at generation 0.
 		tlen = trailer3Len
-		v2 = true
+		ver = 2
 		if end < headerLen+trailer3Len {
+			return nil, fmt.Errorf("archive: %w: %d bytes is too short for a generation trailer", ErrCorrupt, end)
+		}
+	case trailer4Magic:
+		// v3 footer: the v2 layout plus per-frame CRC32C digests.
+		tlen = trailer4Len
+		ver = 3
+		if end < headerLen+trailer4Len {
 			return nil, fmt.Errorf("archive: %w: %d bytes is too short for a generation trailer", ErrCorrupt, end)
 		}
 	default:
@@ -111,7 +134,7 @@ func openAt(r io.ReaderAt, end int64) (*Reader, error) {
 		for i := 7; i >= 0; i-- {
 			gen = gen<<8 | uint64(trailer[8+i])
 		}
-		if gen == 0 && !v2 {
+		if gen == 0 && ver < 2 {
 			return nil, fmt.Errorf("archive: %w: generation trailer claims generation 0", ErrCorrupt)
 		}
 	}
@@ -122,7 +145,7 @@ func openAt(r io.ReaderAt, end int64) (*Reader, error) {
 	if _, err := r.ReadAt(footer, end-tlen-int64(flen)); err != nil {
 		return nil, fmt.Errorf("archive: %w: reading footer: %w", ErrCorrupt, err)
 	}
-	members, err := decodeFooter(footer, v2)
+	members, err := decodeFooter(footer, ver)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
@@ -136,7 +159,7 @@ func openAt(r io.ReaderAt, end int64) (*Reader, error) {
 			}
 		}
 	}
-	return &Reader{r: r, size: end, gen: gen, members: members}, nil
+	return &Reader{r: r, size: end, gen: gen, sums: ver >= 3, members: members}, nil
 }
 
 // recoverScan searches backward from size for the newest end-of-trailer
@@ -170,7 +193,7 @@ func recoverScan(r io.ReaderAt, size int64) (*Reader, int64, error) {
 				continue
 			}
 			m := [8]byte(win[i : i+8])
-			if m != trailerMagic && m != trailer2Magic && m != trailer3Magic {
+			if m != trailerMagic && m != trailer2Magic && m != trailer3Magic && m != trailer4Magic {
 				continue
 			}
 			end := lo + int64(i) + 8
@@ -306,10 +329,9 @@ func (r *Reader) decodeBatch(dec *sz.Decoder[amr.Value], idx *LevelIndex, mi, li
 // match the footer's flag — a delta payload in an intra slot (or the
 // reverse) is corruption, caught before any reconstruction.
 func (r *Reader) decodeBatchOn(dec *sz.Decoder[amr.Value], idx *LevelIndex, mi, li, b int, refs []*grid.Grid3[amr.Value]) ([]*grid.Grid3[amr.Value], error) {
-	rec := idx.Batches[b]
-	blob := make([]byte, rec.Length)
-	if _, err := r.r.ReadAt(blob, rec.Offset); err != nil {
-		return nil, fmt.Errorf("archive: member %d level %d batch %d: %w: reading frame: %w", mi, li, b, ErrCorrupt, err)
+	blob, err := r.readFrame(idx, mi, li, b)
+	if err != nil {
+		return nil, err
 	}
 	lo, hi := idx.BatchSpan(b)
 	info, err := sz.PeekBatch(blob)
@@ -335,6 +357,77 @@ func (r *Reader) decodeBatchOn(dec *sz.Decoder[amr.Value], idx *LevelIndex, mi, 
 		return nil, fmt.Errorf("archive: member %d level %d batch %d: %w: %w", mi, li, b, ErrCorrupt, err)
 	}
 	return blocks, nil
+}
+
+// readFrame reads frame b of idx and, when the footer carries digests,
+// verifies its CRC32C before any byte reaches the codec. Read failures
+// are tagged ErrIO (the transient class) in addition to ErrCorrupt;
+// digest mismatches are ErrCorrupt alone — the bytes arrived, they are
+// simply wrong. mi and li only provide error context.
+func (r *Reader) readFrame(idx *LevelIndex, mi, li, b int) ([]byte, error) {
+	rec := idx.Batches[b]
+	blob := make([]byte, rec.Length)
+	if _, err := r.r.ReadAt(blob, rec.Offset); err != nil {
+		return nil, fmt.Errorf("archive: member %d level %d batch %d: %w: %w: reading frame: %w", mi, li, b, ErrCorrupt, ErrIO, err)
+	}
+	if idx.Sums != nil {
+		if got := crc32.Checksum(blob, castagnoli); got != idx.Sums[b] {
+			return nil, fmt.Errorf("archive: member %d level %d batch %d: %w: frame checksum %08x, footer records %08x", mi, li, b, ErrCorrupt, got, idx.Sums[b])
+		}
+	}
+	return blob, nil
+}
+
+// ScrubIssue is one damaged frame found by Scrub: the member, level, and
+// batch it lives in, plus the ErrCorrupt-tagged error describing it.
+type ScrubIssue struct {
+	Member int
+	Level  int
+	Batch  int
+	Err    error
+}
+
+func (si ScrubIssue) String() string {
+	return fmt.Sprintf("member %d level %d batch %d: %v", si.Member, si.Level, si.Batch, si.Err)
+}
+
+// Scrub audits every frame of the archive, returning one issue per
+// damaged frame (nil means the archive is clean). On a checksummed (v3)
+// archive each frame is read once and its CRC32C verified — no decoding,
+// so a scrub runs at I/O speed; on older archives Scrub falls back to
+// fully decoding every batch, which still catches structural damage but
+// not a bit flip the codec happens to tolerate. Scrub keeps going after a
+// hit so one pass reports the archive's full damage map.
+func (r *Reader) Scrub() []ScrubIssue {
+	var issues []ScrubIssue
+	for mi := range r.members {
+		issues = append(issues, r.ScrubMember(mi)...)
+	}
+	return issues
+}
+
+// ScrubMember audits every frame of one member (see Scrub).
+func (r *Reader) ScrubMember(mi int) []ScrubIssue {
+	m, err := r.member(mi)
+	if err != nil {
+		return []ScrubIssue{{Member: mi, Err: err}}
+	}
+	var issues []ScrubIssue
+	for li := range m.Levels {
+		idx := &m.Levels[li]
+		for b := range idx.Batches {
+			if idx.Sums != nil {
+				if _, err := r.readFrame(idx, mi, li, b); err != nil {
+					issues = append(issues, ScrubIssue{Member: mi, Level: li, Batch: b, Err: err})
+				}
+				continue
+			}
+			if _, err := r.DecodeBatch(mi, li, b); err != nil {
+				issues = append(issues, ScrubIssue{Member: mi, Level: li, Batch: b, Err: err})
+			}
+		}
+	}
+	return issues
 }
 
 // BatchDep reports the dependency of batch b of level li of member mi:

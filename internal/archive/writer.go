@@ -2,6 +2,7 @@ package archive
 
 import (
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"runtime"
@@ -49,6 +50,18 @@ type Writer struct {
 	// Delta mode keeps one reconstructed snapshot per field in memory,
 	// relaxing the streaming-memory guarantee by the field's stored cells.
 	Keyframe int
+
+	// Checksums records a CRC32C digest of every frame in the footer and
+	// commits the v3 (TACAEND4) format, so readers verify each frame
+	// before decoding and Scrub audits without decoding. Set it before
+	// the first frame is written; enabling it later is only supported on
+	// file-backed writers (OpenAppend), where Commit backfills digests
+	// for already-written frames by reading them back. Off (the default)
+	// leaves the output byte-identical to the pre-checksum formats. Once
+	// an archive carries digests they are kept on every later commit,
+	// whether or not the appending writer sets this (OpenAppend inherits
+	// it from the tail).
+	Checksums bool
 
 	w       io.Writer
 	file    *os.File // non-nil for append-mode writers: enables Commit's fsync ordering
@@ -477,14 +490,64 @@ func (mw *MemberWriter) AddLevel(l *amr.Level) error {
 	return nil
 }
 
-// writeFrame emits one batch frame and records it in the level index.
+// writeFrame emits one batch frame and records it in the level index,
+// digesting it on the way out when checksums are on.
 func (w *Writer) writeFrame(blob []byte, idx *LevelIndex) error {
 	if _, err := w.w.Write(blob); err != nil {
 		return fmt.Errorf("archive: writing frame: %w", err)
 	}
 	idx.Batches = append(idx.Batches, BatchRecord{Offset: w.off, Length: int64(len(blob))})
+	if w.Checksums {
+		idx.Sums = append(idx.Sums, crc32.Checksum(blob, castagnoli))
+	}
 	w.off += int64(len(blob))
 	return nil
+}
+
+// backfillSums computes digests for frames written before Checksums was
+// enabled — an unchecksummed archive being upgraded on append — by
+// reading them back from the file. Frames of a fresh in-memory writer
+// cannot be read back, so there the flag must be set before writing.
+func (w *Writer) backfillSums() error {
+	for mi := range w.members {
+		m := &w.members[mi]
+		for li := range m.Levels {
+			idx := &m.Levels[li]
+			if len(idx.Sums) == len(idx.Batches) {
+				continue
+			}
+			if len(idx.Sums) != 0 {
+				return fmt.Errorf("archive: member %d level %d has %d checksums for %d batches (Checksums toggled mid-member)", mi, li, len(idx.Sums), len(idx.Batches))
+			}
+			if w.file == nil {
+				return fmt.Errorf("archive: member %d was written before Checksums was enabled (set it before the first frame, or append to a file)", mi)
+			}
+			sums := make([]uint32, len(idx.Batches))
+			for b, rec := range idx.Batches {
+				blob := make([]byte, rec.Length)
+				if _, err := w.file.ReadAt(blob, rec.Offset); err != nil {
+					return fmt.Errorf("archive: member %d level %d batch %d: reading frame for checksum backfill: %w", mi, li, b, err)
+				}
+				sums[b] = crc32.Checksum(blob, castagnoli)
+			}
+			idx.Sums = sums
+		}
+	}
+	return nil
+}
+
+// anySums reports whether any member already carries frame digests — an
+// archive that was ever committed at v3 keeps its digests on every later
+// commit, so the format never silently downgrades.
+func anySums(members []Member) bool {
+	for mi := range members {
+		for li := range members[mi].Levels {
+			if members[mi].Levels[li].Sums != nil {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Close seals the member and adds it to the archive index.
@@ -562,7 +625,10 @@ func (w *Writer) Generation() uint64 { return w.committed }
 // later generations write the 24-byte generation-stamped trailer. An
 // archive holding any delta-coded member instead commits the v2 footer
 // under the TACAEND3 trailer (generation-stamped, legal at generation 0);
-// intra-only archives never do, keeping their bytes on the v1 format.
+// intra-only archives never do, keeping their bytes on the v1 format. A
+// writer with Checksums on — or appending to an archive that already
+// carries frame digests — commits the v3 footer under TACAEND4,
+// backfilling digests for any frames written before the flag was set.
 func (w *Writer) Commit() error {
 	if w.closed {
 		return fmt.Errorf("archive: writer is closed")
@@ -570,8 +636,17 @@ func (w *Writer) Commit() error {
 	if w.cur != nil {
 		return fmt.Errorf("archive: member %q still open", w.cur.member.Name)
 	}
-	v2 := needV2(w.members)
-	footer, err := encodeFooter(w.members, v2)
+	ver := 1
+	if needV2(w.members) {
+		ver = 2
+	}
+	if w.Checksums || anySums(w.members) {
+		ver = 3
+		if err := w.backfillSums(); err != nil {
+			return err
+		}
+	}
+	footer, err := encodeFooter(w.members, ver)
 	if err != nil {
 		return err
 	}
@@ -587,7 +662,16 @@ func (w *Writer) Commit() error {
 	flen := uint64(len(footer))
 	var trailer []byte
 	switch {
-	case v2:
+	case ver >= 3:
+		trailer = make([]byte, 0, trailer4Len)
+		for i := 0; i < 8; i++ {
+			trailer = append(trailer, byte(flen>>(8*i)))
+		}
+		for i := 0; i < 8; i++ {
+			trailer = append(trailer, byte(w.committed>>(8*i)))
+		}
+		trailer = append(trailer, trailer4Magic[:]...)
+	case ver == 2:
 		trailer = make([]byte, 0, trailer3Len)
 		for i := 0; i < 8; i++ {
 			trailer = append(trailer, byte(flen>>(8*i)))

@@ -1,0 +1,138 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+var errInjected = errors.New("injected I/O error")
+
+func backing() *bytes.Reader {
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	return bytes.NewReader(data)
+}
+
+func TestPassThroughWithoutPlan(t *testing.T) {
+	f := New(backing())
+	p := make([]byte, 16)
+	n, err := f.ReadAt(p, 32)
+	if n != 16 || err != nil {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	for i, b := range p {
+		if b != byte(32+i) {
+			t.Fatalf("byte %d = %#x, want %#x", i, b, 32+i)
+		}
+	}
+	if f.Calls() != 1 || f.Faults() != 0 {
+		t.Fatalf("calls %d faults %d, want 1/0", f.Calls(), f.Faults())
+	}
+}
+
+func TestFailFirstHeals(t *testing.T) {
+	f := New(backing())
+	// Burn some clean calls first: FailFirst counts from plan install.
+	p := make([]byte, 4)
+	for i := 0; i < 3; i++ {
+		if _, err := f.ReadAt(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.SetPlan(FailFirst(2, errInjected))
+	for i := 0; i < 2; i++ {
+		if _, err := f.ReadAt(p, 0); !errors.Is(err, errInjected) {
+			t.Fatalf("call %d after arming: err = %v, want injected", i, err)
+		}
+	}
+	if _, err := f.ReadAt(p, 0); err != nil {
+		t.Fatalf("plan did not heal: %v", err)
+	}
+	if f.Faults() != 2 {
+		t.Fatalf("faults = %d, want 2", f.Faults())
+	}
+}
+
+func TestFailTouching(t *testing.T) {
+	f := New(backing())
+	f.SetPlan(FailTouching(100, 110, errInjected))
+	p := make([]byte, 16)
+	if _, err := f.ReadAt(p, 0); err != nil {
+		t.Fatalf("read outside the bad range failed: %v", err)
+	}
+	if _, err := f.ReadAt(p, 96); !errors.Is(err, errInjected) {
+		t.Fatalf("read overlapping the bad range: err = %v", err)
+	}
+	if _, err := f.ReadAt(p, 110); err != nil {
+		t.Fatalf("read starting at hi failed: %v", err)
+	}
+}
+
+func TestFlipByteLeavesBackingIntact(t *testing.T) {
+	f := New(backing())
+	f.SetPlan(FlipByte(40, 0xFF))
+	p := make([]byte, 16)
+	if _, err := f.ReadAt(p, 32); err != nil {
+		t.Fatal(err)
+	}
+	if p[8] != byte(40)^0xFF {
+		t.Fatalf("byte at offset 40 = %#x, want flipped", p[8])
+	}
+	if p[7] != byte(39) || p[9] != byte(41) {
+		t.Fatal("flip bled into neighboring bytes")
+	}
+	// A read not covering the offset is clean.
+	if _, err := f.ReadAt(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 0 {
+		t.Fatalf("clean read returned %#x", p[0])
+	}
+}
+
+func TestShortRead(t *testing.T) {
+	f := New(backing())
+	f.SetPlan(func(int64, int64, int) *Fault { return &Fault{Short: 6} })
+	p := make([]byte, 16)
+	n, err := f.ReadAt(p, 0)
+	if n != 10 || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("short read = %d, %v; want 10, ErrUnexpectedEOF", n, err)
+	}
+}
+
+func TestDelayUsesInjectedClock(t *testing.T) {
+	f := New(backing())
+	var slept []time.Duration
+	f.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	f.SetPlan(Delay(50 * time.Millisecond))
+	p := make([]byte, 4)
+	if _, err := f.ReadAt(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] != 50*time.Millisecond {
+		t.Fatalf("slept %v, want one 50ms stall", slept)
+	}
+}
+
+func TestCompose(t *testing.T) {
+	f := New(backing())
+	f.SetPlan(Compose(
+		FailFirst(1, errInjected),
+		FlipByte(2, 0x01),
+	))
+	p := make([]byte, 4)
+	if _, err := f.ReadAt(p, 0); !errors.Is(err, errInjected) {
+		t.Fatalf("first call: err = %v, want injected (first plan wins)", err)
+	}
+	if _, err := f.ReadAt(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p[2] != byte(2)^0x01 {
+		t.Fatal("second plan's flip not applied after the first healed")
+	}
+}

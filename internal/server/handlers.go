@@ -2,6 +2,7 @@ package server
 
 import (
 	"compress/gzip"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -45,6 +46,13 @@ func (s *Server) Handler() http.Handler {
 			fmt.Fprintln(w, "draining")
 			return
 		}
+		// Degraded is still 200: the node serves every healthy member, so
+		// load balancers should keep routing here — but the body tells
+		// operators the archive needs repair.
+		if s.Degraded() {
+			fmt.Fprintln(w, "degraded")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -60,7 +68,22 @@ func (s *Server) Handler() http.Handler {
 // httpError maps an assembly error to a status code via the sentinel the
 // error was tagged with: unknown names and indices are the client's
 // fault, archive damage and everything untagged is a server-side failure.
+// Quarantined members answer a structured 502 — the damage is upstream of
+// this server, and the body says so in machine-readable form so clients
+// can stop retrying the poisoned member and keep using the rest.
 func httpError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrQuarantined) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		enc := json.NewEncoder(w)
+		//nolint:errcheck // client went away; nothing to do
+		enc.Encode(struct {
+			Error       string `json:"error"`
+			Quarantined bool   `json:"quarantined"`
+			Retryable   bool   `json:"retryable"`
+		}{err.Error(), true, false})
+		return
+	}
 	code := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrNotFound):
@@ -75,8 +98,19 @@ func httpError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", "5")
 		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
 	}
 	http.Error(w, err.Error(), code)
+}
+
+// requestCtx derives the per-request context, bounded by RequestTimeout
+// when one is configured.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return r.Context(), func() {}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -103,8 +137,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache    CacheStats  `json:"cache"`
 		HitRatio float64     `json:"cache_hit_ratio"`
 		Ingest   IngestStats `json:"ingest"`
+		Health   HealthStats `json:"health"`
 		Draining bool        `json:"draining"`
-	}{s.Names(), st, st.HitRatio(), s.IngestStats(), s.Draining()})
+	}{s.Names(), st, st.HitRatio(), s.IngestStats(), s.HealthStats(), s.Draining()})
 }
 
 func (s *Server) handleArchives(w http.ResponseWriter, r *http.Request) {
@@ -226,7 +261,9 @@ func (s *Server) handleSnapAMR(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	ds, err := s.Dataset(sa.name, mi)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	ds, err := s.DatasetContext(ctx, sa.name, mi)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -250,6 +287,8 @@ func (s *Server) handleLevel(w http.ResponseWriter, r *http.Request) {
 		httpError(w, fmt.Errorf("server: %w: level index %q is not a number", ErrBadRequest, r.PathValue("level")))
 		return
 	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	var g *grid.Grid3[amr.Value]
 	var reg grid.Region
 	if roiStr := r.URL.Query().Get("roi"); roiStr != "" {
@@ -258,14 +297,14 @@ func (s *Server) handleLevel(w http.ResponseWriter, r *http.Request) {
 			httpError(w, fmt.Errorf("server: %w: %w", ErrBadRequest, err))
 			return
 		}
-		g, reg, err = s.Region(sa.name, mi, li, roi)
+		g, reg, err = s.RegionContext(ctx, sa.name, mi, li, roi)
 		if err != nil {
 			httpError(w, err)
 			return
 		}
 	} else {
 		var idx *archive.LevelIndex
-		g, idx, err = s.Level(sa.name, mi, li)
+		g, idx, err = s.LevelContext(ctx, sa.name, mi, li)
 		if err != nil {
 			httpError(w, err)
 			return

@@ -1,0 +1,287 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/archive"
+)
+
+// ErrQuarantined tags requests for members the health state machine has
+// taken out of service after repeated corruption (or a scrub hit). The
+// HTTP layer answers a structured 502: the archive is damaged upstream
+// of this server, and retrying here cannot help — but every other member
+// keeps serving.
+var ErrQuarantined = errors.New("member quarantined")
+
+// healthCounters are the server-wide fault-tolerance counters /stats
+// exposes.
+type healthCounters struct {
+	retries       atomic.Int64 // frame reads retried after transient I/O errors
+	corruptEvents atomic.Int64 // deterministic ErrCorrupt detections on the request path
+	quarantines   atomic.Int64 // members quarantined since start (never decremented)
+	scrubPasses   atomic.Int64 // completed background scrub sweeps
+	scrubIssues   atomic.Int64 // damaged frames found by scrubs
+}
+
+// HealthStats is the /stats health section.
+type HealthStats struct {
+	Retries            int64 `json:"retries"`
+	CorruptEvents      int64 `json:"corrupt_events"`
+	Quarantines        int64 `json:"quarantines"`
+	QuarantinedMembers int64 `json:"quarantined_members"`
+	ScrubPasses        int64 `json:"scrub_passes"`
+	ScrubIssues        int64 `json:"scrub_issues"`
+	Degraded           bool  `json:"degraded"`
+	// Quarantined lists the quarantined member indices per archive.
+	Quarantined map[string][]int `json:"quarantined,omitempty"`
+}
+
+// archiveHealth is the per-archive member health state machine. A member
+// is healthy until ErrCorrupt detections against it reach the quarantine
+// threshold (or a scrub finds damage), after which it is quarantined:
+// requests for it — and for members whose reference chain passes through
+// it — answer ErrQuarantined until the process restarts with a repaired
+// archive. Transient I/O errors (archive.ErrIO) never count: they are
+// retried, not held against the member.
+type archiveHealth struct {
+	mu          sync.Mutex
+	strikes     map[int]int
+	quarantined map[int]string // member index -> reason
+}
+
+// quarantinedMember reports whether member mi is out of service, and why.
+func (sa *servedArchive) quarantinedMember(mi int) (string, bool) {
+	sa.health.mu.Lock()
+	defer sa.health.mu.Unlock()
+	reason, ok := sa.health.quarantined[mi]
+	return reason, ok
+}
+
+// quarantine takes member mi out of service, reporting whether this call
+// was the one that did it.
+func (sa *servedArchive) quarantine(mi int, reason string) bool {
+	sa.health.mu.Lock()
+	defer sa.health.mu.Unlock()
+	if _, done := sa.health.quarantined[mi]; done {
+		return false
+	}
+	if sa.health.quarantined == nil {
+		sa.health.quarantined = make(map[int]string)
+	}
+	sa.health.quarantined[mi] = reason
+	return true
+}
+
+// recordCorrupt counts one deterministic corruption detection against
+// member mi, quarantining it when the count reaches threshold (≤ 0
+// disables quarantining). It reports whether this strike quarantined the
+// member.
+func (sa *servedArchive) recordCorrupt(mi, threshold int, reason string) bool {
+	if threshold <= 0 {
+		return false
+	}
+	sa.health.mu.Lock()
+	if sa.health.strikes == nil {
+		sa.health.strikes = make(map[int]int)
+	}
+	sa.health.strikes[mi]++
+	hit := sa.health.strikes[mi] >= threshold
+	sa.health.mu.Unlock()
+	if hit {
+		return sa.quarantine(mi, reason)
+	}
+	return false
+}
+
+// quarantinedList returns the quarantined member indices, sorted.
+func (sa *servedArchive) quarantinedList() []int {
+	sa.health.mu.Lock()
+	defer sa.health.mu.Unlock()
+	if len(sa.health.quarantined) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(sa.health.quarantined))
+	for mi := range sa.health.quarantined {
+		out = append(out, mi)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// noteError inspects an extraction error on the request path: a
+// deterministic corruption (ErrCorrupt without ErrIO — the bytes arrived
+// and failed verification) counts a strike against the member it was
+// detected in. I/O-tagged failures were already retried and stay
+// transient; usage errors are the client's problem.
+func (s *Server) noteError(sa *servedArchive, mi int, err error) {
+	if err == nil || !errors.Is(err, archive.ErrCorrupt) || errors.Is(err, archive.ErrIO) {
+		return
+	}
+	s.health.corruptEvents.Add(1)
+	if sa.recordCorrupt(mi, s.cfg.QuarantineAfter, fmt.Sprintf("repeated corruption: %v", err)) {
+		s.health.quarantines.Add(1)
+	}
+}
+
+// decodeRetry decodes one frame, retrying transient I/O failures
+// (archive.ErrIO) up to cfg.RetryAttempts times with exponential,
+// jittered backoff. Deterministic corruption is never retried — the same
+// bytes would fail the same way — and neither are usage errors.
+func (s *Server) decodeRetry(st *archiveState, mi, li, b int, refs blocks) (blocks, error) {
+	backoff := s.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		v, err := st.r.DecodeBatchOn(mi, li, b, refs)
+		if err == nil || attempt >= s.cfg.RetryAttempts || !errors.Is(err, archive.ErrIO) {
+			return v, err
+		}
+		s.health.retries.Add(1)
+		s.sleep(jittered(backoff, s.jitter()))
+		backoff *= 2
+	}
+}
+
+// jittered spreads a backoff over [0.5d, 1.5d) so a fleet of requests
+// hitting the same flaky device does not retry in lockstep. j is a
+// uniform sample from [0, 1).
+func jittered(d time.Duration, j float64) time.Duration {
+	return time.Duration(float64(d) * (0.5 + j))
+}
+
+// defaultJitter is the production jitter source (tests inject their own).
+func defaultJitter() float64 { return rand.Float64() }
+
+// HealthStats snapshots the fault-tolerance counters and the quarantine
+// map.
+func (s *Server) HealthStats() HealthStats {
+	hs := HealthStats{
+		Retries:       s.health.retries.Load(),
+		CorruptEvents: s.health.corruptEvents.Load(),
+		Quarantines:   s.health.quarantines.Load(),
+		ScrubPasses:   s.health.scrubPasses.Load(),
+		ScrubIssues:   s.health.scrubIssues.Load(),
+	}
+	s.mu.RLock()
+	archives := make([]*servedArchive, 0, len(s.archives))
+	for _, sa := range s.archives {
+		archives = append(archives, sa)
+	}
+	s.mu.RUnlock()
+	for _, sa := range archives {
+		if qs := sa.quarantinedList(); len(qs) > 0 {
+			if hs.Quarantined == nil {
+				hs.Quarantined = make(map[string][]int)
+			}
+			hs.Quarantined[sa.name] = qs
+			hs.QuarantinedMembers += int64(len(qs))
+		}
+	}
+	hs.Degraded = hs.QuarantinedMembers > 0
+	return hs
+}
+
+// Degraded reports whether any registered member is quarantined: the
+// server still answers everything it can, but /healthz says "degraded"
+// so operators notice the archive needs repair.
+func (s *Server) Degraded() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, sa := range s.archives {
+		sa.health.mu.Lock()
+		n := len(sa.health.quarantined)
+		sa.health.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// scrubMemberPause is the between-members yield of a scrub sweep: the
+// scrubber is a background janitor and must not monopolize the ReaderAt
+// or the decode pools against live traffic.
+const scrubMemberPause = 2 * time.Millisecond
+
+// ScrubOnce sweeps every registered archive member by member, verifying
+// every frame (archive.Reader.ScrubMember: digest checks on checksummed
+// archives, full decodes otherwise) and quarantining damaged members
+// proactively — plus every member whose reference chain passes through
+// one, since those can only reconstruct from poisoned data. It returns
+// the number of damaged frames found. The background scrubber calls this
+// on a timer; tests and operators can call it directly.
+func (s *Server) ScrubOnce() int {
+	issues := 0
+	for _, name := range s.Names() {
+		sa, err := s.lookup(name)
+		if err != nil {
+			continue // racing Close
+		}
+		st := sa.view()
+		members := st.r.Members()
+		for mi := range members {
+			if _, q := sa.quarantinedMember(mi); q {
+				continue
+			}
+			probs := st.r.ScrubMember(mi)
+			if len(probs) > 0 {
+				issues += len(probs)
+				s.health.scrubIssues.Add(int64(len(probs)))
+				if sa.quarantine(mi, fmt.Sprintf("scrub: %v", probs[0].Err)) {
+					s.health.quarantines.Add(1)
+				}
+			}
+			s.sleep(scrubMemberPause)
+		}
+		// Chain closure: references point strictly backward, so one
+		// forward pass after the sweep settles every dependent.
+		for mi := range members {
+			if _, q := sa.quarantinedMember(mi); q {
+				continue
+			}
+			for r := mi; members[r].Ref >= 0; {
+				r = members[r].Ref
+				reason, q := sa.quarantinedMember(r)
+				if !q {
+					continue
+				}
+				if sa.quarantine(mi, fmt.Sprintf("reference member %d quarantined (%s)", r, reason)) {
+					s.health.quarantines.Add(1)
+				}
+				break
+			}
+		}
+	}
+	s.health.scrubPasses.Add(1)
+	return issues
+}
+
+// scrubLoop is the background scrubber goroutine, started by New when
+// Config.ScrubInterval > 0 and stopped by Close.
+func (s *Server) scrubLoop() {
+	defer close(s.scrubDone)
+	t := time.NewTicker(s.cfg.ScrubInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.scrubStop:
+			return
+		case <-t.C:
+			s.ScrubOnce()
+		}
+	}
+}
+
+// stopScrubber halts the background scrubber, waiting for an in-flight
+// sweep to finish. Safe to call when none was started, and idempotent.
+func (s *Server) stopScrubber() {
+	if s.scrubStop == nil {
+		return
+	}
+	s.scrubOnce.Do(func() { close(s.scrubStop) })
+	<-s.scrubDone
+}

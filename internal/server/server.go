@@ -21,6 +21,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/amr"
 	"repro/internal/archive"
@@ -41,6 +43,15 @@ const (
 	DefaultCacheBytes  = 256 << 20 // 256 MiB of decoded batches
 	DefaultCacheShards = 16
 	DefaultIngestQueue = 4
+	// DefaultRetryAttempts is how many times a transient frame-read
+	// failure is retried before the request fails.
+	DefaultRetryAttempts = 3
+	// DefaultRetryBackoff is the first retry's backoff; each subsequent
+	// retry doubles it, and every sleep is jittered over [0.5d, 1.5d).
+	DefaultRetryBackoff = 5 * time.Millisecond
+	// DefaultQuarantineAfter is how many deterministic corruption
+	// detections against one member take it out of service.
+	DefaultQuarantineAfter = 2
 )
 
 // Sentinels the HTTP layer maps to status codes (errors.Is); every
@@ -81,6 +92,28 @@ type Config struct {
 	// member per field is a keyframe bounding the reference chain. 0 or 1
 	// keeps ingest in intra mode, byte-identical to previous releases.
 	IngestKeyframe int
+	// RetryAttempts bounds retries of transient frame-read failures
+	// (archive.ErrIO) before a request fails; 0 means
+	// DefaultRetryAttempts, negative disables retrying. Deterministic
+	// corruption (checksum mismatches) is never retried.
+	RetryAttempts int
+	// RetryBackoff is the first retry's backoff, doubled per attempt and
+	// jittered; 0 means DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// QuarantineAfter is how many deterministic corruption detections
+	// against one member quarantine it (requests for it answer
+	// ErrQuarantined while every other member keeps serving); 0 means
+	// DefaultQuarantineAfter, negative disables quarantining.
+	QuarantineAfter int
+	// ScrubInterval, when > 0, runs a background scrubber that verifies
+	// every frame of every registered archive on this period,
+	// quarantining damaged members (and their dependents) before a
+	// client ever hits them. 0 disables the scrubber; ScrubOnce remains
+	// callable.
+	ScrubInterval time.Duration
+	// RequestTimeout, when > 0, bounds each HTTP extraction request;
+	// requests over budget answer 504. 0 leaves requests unbounded.
+	RequestTimeout time.Duration
 }
 
 // archiveState is the immutable per-generation view of one archive: the
@@ -120,7 +153,8 @@ type servedArchive struct {
 	name   string
 	closer io.Closer
 	state  atomic.Pointer[archiveState]
-	ing    *ingester // non-nil iff the archive accepts POST ingest
+	ing    *ingester     // non-nil iff the archive accepts POST ingest
+	health archiveHealth // per-member quarantine state machine
 }
 
 // view pins the current generation for the duration of one operation.
@@ -137,6 +171,16 @@ type Server struct {
 	cache *Cache
 
 	draining atomic.Bool
+
+	health healthCounters
+	// sleep and jitter are the backoff seams; tests inject a recording
+	// clock and a fixed jitter to assert retry cadence deterministically.
+	sleep  func(time.Duration)
+	jitter func() float64
+
+	scrubStop chan struct{}
+	scrubDone chan struct{}
+	scrubOnce sync.Once
 
 	mu       sync.RWMutex
 	archives map[string]*servedArchive
@@ -157,11 +201,30 @@ func New(cfg Config) *Server {
 	if cfg.IngestQueue <= 0 {
 		cfg.IngestQueue = DefaultIngestQueue
 	}
-	return &Server{
+	if cfg.RetryAttempts == 0 {
+		cfg.RetryAttempts = DefaultRetryAttempts
+	} else if cfg.RetryAttempts < 0 {
+		cfg.RetryAttempts = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
+	if cfg.QuarantineAfter == 0 {
+		cfg.QuarantineAfter = DefaultQuarantineAfter
+	}
+	s := &Server{
 		cfg:      cfg,
 		cache:    NewCache(cfg.CacheBytes, cfg.CacheShards),
+		sleep:    time.Sleep,
+		jitter:   defaultJitter,
 		archives: make(map[string]*servedArchive),
 	}
+	if cfg.ScrubInterval > 0 {
+		s.scrubStop = make(chan struct{})
+		s.scrubDone = make(chan struct{})
+		go s.scrubLoop()
+	}
+	return s
 }
 
 // Cache exposes the block cache (stats endpoints, benchmarks, tests).
@@ -226,6 +289,7 @@ func (s *Server) AddFile(spec string) (string, error) {
 // commit before the archive file is sealed and closed) and then closes
 // every registered archive that was added with a closer.
 func (s *Server) Close() error {
+	s.stopScrubber()
 	s.mu.Lock()
 	archives := s.archives
 	s.archives = make(map[string]*servedArchive)
@@ -292,8 +356,19 @@ func (sa *servedArchive) member(st *archiveState, mi int) (*archive.Member, erro
 // singleflight runs fills with no locks held, and chain references are
 // strictly backward, so the keys strictly decrease and never collide
 // with a fill already in flight on this goroutine.
+// Quarantined members — and, transitively, members whose reference chain
+// passes through one — answer ErrQuarantined up front, before the cache:
+// blocks decoded from a member later found damaged must not keep serving.
+// Transient read failures are retried inside the fill (decodeRetry), so
+// the decodes ≤ misses cache invariant holds across retries; failures
+// that survive retry are inspected by the health state machine, where a
+// deterministic corruption counts a strike toward quarantine against the
+// member it was detected in.
 func (s *Server) batch(sa *servedArchive, st *archiveState, mi, li, b int) (blocks, error) {
-	return s.cache.GetOrFill(Key{Archive: sa.name, Member: mi, Level: li, Batch: b}, func() (blocks, int64, error) {
+	if reason, q := sa.quarantinedMember(mi); q {
+		return nil, fmt.Errorf("server: %w: archive %q snapshot %d: %s", ErrQuarantined, sa.name, mi, reason)
+	}
+	v, err := s.cache.GetOrFill(Key{Archive: sa.name, Member: mi, Level: li, Batch: b}, func() (blocks, int64, error) {
 		ref, delta, err := st.r.BatchDep(mi, li, b)
 		if err != nil {
 			return nil, 0, err
@@ -305,24 +380,34 @@ func (s *Server) batch(sa *servedArchive, st *archiveState, mi, li, b int) (bloc
 				return nil, 0, err
 			}
 		}
-		v, err := st.r.DecodeBatchOn(mi, li, b, refs)
+		v, err := s.decodeRetry(st, mi, li, b, refs)
 		if err != nil {
 			return nil, 0, err
 		}
 		return v, batchCost(v), nil
 	})
+	if err != nil {
+		s.noteError(sa, mi, err)
+	}
+	return v, err
 }
 
 // forEachBatch runs fn(b) for every batch index in jobs, fanning out
 // across the server's worker budget. fn must only touch disjoint state
-// per batch (the assembly paths write disjoint cell ranges).
-func (s *Server) forEachBatch(jobs []int, fn func(b int) error) error {
+// per batch (the assembly paths write disjoint cell ranges). The context
+// is checked between batches, not inside a decode: a frame decode is
+// short and its result is shared through the cache, so abandoning one
+// mid-flight would poison the singleflight result other requests wait on.
+func (s *Server) forEachBatch(ctx context.Context, jobs []int, fn func(b int) error) error {
 	workers := s.cfg.Workers
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
 	if workers <= 1 {
 		for _, b := range jobs {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("server: request aborted: %w", err)
+			}
 			if err := fn(b); err != nil {
 				return err
 			}
@@ -333,10 +418,15 @@ func (s *Server) forEachBatch(jobs []int, fn func(b int) error) error {
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
+	var ctxErr error
 	for ji, b := range jobs {
 		// Once any batch fails the request is lost; don't burn decode
 		// time on the rest (undispatched jobs stay nil in errs).
 		if failed.Load() {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			ctxErr = fmt.Errorf("server: request aborted: %w", err)
 			break
 		}
 		wg.Add(1)
@@ -356,12 +446,19 @@ func (s *Server) forEachBatch(jobs []int, fn func(b int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctxErr
 }
 
 // Level assembles the full grid of one refinement level from cached
 // batches: byte-identical to archive.Reader.ExtractLevel(mi, li).Grid.
 func (s *Server) Level(name string, mi, li int) (*grid.Grid3[amr.Value], *archive.LevelIndex, error) {
+	return s.LevelContext(context.Background(), name, mi, li)
+}
+
+// LevelContext is Level under a context: assembly stops between batches
+// once ctx is done (deadline overruns surface as context.DeadlineExceeded,
+// which the HTTP layer maps to 504).
+func (s *Server) LevelContext(ctx context.Context, name string, mi, li int) (*grid.Grid3[amr.Value], *archive.LevelIndex, error) {
 	sa, err := s.lookup(name)
 	if err != nil {
 		return nil, nil, err
@@ -381,7 +478,7 @@ func (s *Server) Level(name string, mi, li int) (*grid.Grid3[amr.Value], *archiv
 	for b := range jobs {
 		jobs[b] = b
 	}
-	err = s.forEachBatch(jobs, func(b int) error {
+	err = s.forEachBatch(ctx, jobs, func(b int) error {
 		bl, err := s.batch(sa, st, mi, li, b)
 		if err != nil {
 			return err
@@ -405,6 +502,11 @@ func (s *Server) Level(name string, mi, li int) (*grid.Grid3[amr.Value], *archiv
 // byte-identical to the same window of the fully extracted level. Only
 // frames whose blocks intersect roi are fetched or decoded.
 func (s *Server) Region(name string, mi, li int, roi grid.Region) (*grid.Grid3[amr.Value], grid.Region, error) {
+	return s.RegionContext(context.Background(), name, mi, li, roi)
+}
+
+// RegionContext is Region under a context (see LevelContext).
+func (s *Server) RegionContext(ctx context.Context, name string, mi, li int, roi grid.Region) (*grid.Grid3[amr.Value], grid.Region, error) {
 	sa, err := s.lookup(name)
 	if err != nil {
 		return nil, grid.Region{}, err
@@ -443,7 +545,7 @@ func (s *Server) Region(name string, mi, li int, roi grid.Region) (*grid.Grid3[a
 		}
 	}
 	out := grid.New[amr.Value](roi.Dims())
-	err = s.forEachBatch(jobs, func(b int) error {
+	err = s.forEachBatch(ctx, jobs, func(b int) error {
 		bl, err := s.batch(sa, st, mi, li, b)
 		if err != nil {
 			return err
@@ -470,6 +572,11 @@ func (s *Server) Region(name string, mi, li int, roi grid.Region) (*grid.Grid3[a
 // byte-identical. The levels share the reader's occupancy masks, which
 // must not be mutated.
 func (s *Server) Dataset(name string, mi int) (*amr.Dataset, error) {
+	return s.DatasetContext(context.Background(), name, mi)
+}
+
+// DatasetContext is Dataset under a context (see LevelContext).
+func (s *Server) DatasetContext(ctx context.Context, name string, mi int) (*amr.Dataset, error) {
 	sa, err := s.lookup(name)
 	if err != nil {
 		return nil, err
@@ -480,7 +587,7 @@ func (s *Server) Dataset(name string, mi int) (*amr.Dataset, error) {
 	}
 	ds := &amr.Dataset{Name: m.Name, Field: m.Field, Ratio: m.Ratio}
 	for li := range m.Levels {
-		g, idx, err := s.Level(name, mi, li)
+		g, idx, err := s.LevelContext(ctx, name, mi, li)
 		if err != nil {
 			return nil, err
 		}
