@@ -145,6 +145,12 @@ func main() {
 		fmt.Printf("[integrity: %d frames +%d footer bytes, read %.1f -> %.1f MB/s (%.2fx), scrub %.1f MB/s, flips %d/%d detected]\n",
 			integ.Frames, integ.FooterGrowth, integ.PlainReadMBps, integ.SummedReadMBps,
 			integ.VerifyOverhead, integ.ScrubMBps, integ.FlipsDetected, integ.FlipsInjected)
+		match := "MISMATCH"
+		if integ.RepairedReadsMatch {
+			match = "byte-identical"
+		}
+		fmt.Printf("[repair: %d frames respliced at %.1f MB/s (%s), failover read overhead %.2fx]\n",
+			integ.RepairFrames, integ.RepairMBps, match, integ.FailoverOverhead)
 	}
 	fmt.Printf("\n[benchall completed in %v at scale 1/%d]\n", time.Since(start).Round(time.Second), *scale)
 }

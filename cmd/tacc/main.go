@@ -9,9 +9,10 @@
 //	tacc decompress in.tacz out.amr
 //	tacc info       in.amr
 //	tacc verify     [-codec TAC] [-eb 1e9] [-rel] in.amr    (round-trip check)
-//	tacc verify     in.taca                                 (archive scrub; non-zero exit on damage)
-//	tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] [-append] [-delta] [-keyframe 8] [-sum] out.taca in.amr...
-//	tacc ls         in.taca
+//	tacc verify     [-repair replica.taca] in.taca          (archive scrub; non-zero exit on damage)
+//	tacc repair     -replica replica.taca in.taca           (splice damaged frames back from a replica)
+//	tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] [-append] [-delta] [-keyframe 8] [-sum] [-fsum] out.taca in.amr...
+//	tacc ls         [-scrub] in.taca
 //	tacc extract    [-member 0] [-level -1] [-roi x0:x1,y0:y1,z0:z1] in.taca out.amr
 //
 // The global -cpuprofile/-memprofile flags write runtime/pprof profiles
@@ -99,6 +100,8 @@ func run(cmd string, args []string) {
 		info(args)
 	case "verify":
 		verify(args)
+	case "repair":
+		repairCmd(args)
 	case "errmap":
 		errmap(args)
 	case "archive":
@@ -121,10 +124,11 @@ func usage() {
   tacc decompress in.tacz out.amr
   tacc info       in.amr
   tacc verify     [-codec ...] [-eb ...] [-rel] in.amr
-  tacc verify     in.taca    (archive scrub; non-zero exit on damage)
+  tacc verify     [-repair replica.taca] in.taca    (archive scrub; non-zero exit on damage)
+  tacc repair     -replica replica.taca in.taca     (splice damaged frames back from a replica)
   tacc errmap     [-codec ...] [-eb ...] [-rel] [-level 0] [-slice -1] in.amr out.png
-  tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] [-append] [-delta] [-keyframe 8] [-sum] out.taca in.amr...
-  tacc ls         in.taca
+  tacc archive    [-eb 1e9] [-rel] [-scales 3,1] [-workers -1] [-batch 64] [-append] [-delta] [-keyframe 8] [-sum] [-fsum] out.taca in.amr...
+  tacc ls         [-scrub] in.taca
   tacc extract    [-member 0] [-level -1] [-roi x0:x1,y0:y1,z0:z1] in.taca out.amr`)
 	os.Exit(2)
 }
@@ -248,12 +252,19 @@ func info(args []string) {
 // exits non-zero; anything else is the original compress/decompress
 // round-trip distortion check.
 func verify(args []string) {
-	if len(args) > 0 && isArchive(args[len(args)-1]) {
-		verifyArchive(args[len(args)-1])
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	repairFrom := fs.String("repair", "", "for archives: splice damaged frames back from this replica before the scrub")
+	c, cfg, rest := parseCfg(fs, args)
+	if len(rest) == 1 && isArchive(rest[0]) {
+		if *repairFrom != "" {
+			repairArchive(rest[0], *repairFrom)
+		}
+		verifyArchive(rest[0])
 		return
 	}
-	fs := flag.NewFlagSet("verify", flag.ExitOnError)
-	c, cfg, rest := parseCfg(fs, args)
+	if *repairFrom != "" {
+		log.Fatal("-repair only applies to .taca archives")
+	}
 	if len(rest) != 1 {
 		usage()
 	}
@@ -324,6 +335,46 @@ func verifyArchive(path string) {
 		path, len(r.Members()), frames, mode, dt.Round(time.Millisecond))
 }
 
+// repairCmd heals a damaged archive offline: every frame that fails its
+// scrub is re-fetched from the replica, digest-verified, and rewritten
+// in place at the same offset. The exit status follows the repair — a
+// replica damaged at the same frames, or fetch errors, exit non-zero
+// with the archive's clean frames untouched.
+func repairCmd(args []string) {
+	fs := flag.NewFlagSet("repair", flag.ExitOnError)
+	replica := fs.String("replica", "", "healthy copy of the archive to re-fetch damaged frames from")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	rest := fs.Args()
+	if len(rest) != 1 || *replica == "" {
+		usage()
+	}
+	repairArchive(rest[0], *replica)
+}
+
+// repairArchive is the shared splice step of `tacc repair` and
+// `tacc verify -repair`.
+func repairArchive(path, replicaPath string) {
+	src, err := os.Open(replicaPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer src.Close()
+	t0 := time.Now()
+	rs, err := archive.Repair(path, src)
+	if err != nil {
+		log.Fatalf("repairing %s from %s: %v", path, replicaPath, err)
+	}
+	if rs.FramesRepaired == 0 {
+		fmt.Printf("%s: %d frames scanned, nothing to repair\n", path, rs.FramesScanned)
+		return
+	}
+	fmt.Printf("%s: repaired %d of %d frames (%d bytes respliced, members %v) from %s in %v\n",
+		path, rs.FramesRepaired, rs.FramesScanned, rs.BytesRespliced, rs.Members,
+		replicaPath, time.Since(t0).Round(time.Millisecond))
+}
+
 // archiveCmd compresses a sequence of .amr snapshots into one seekable
 // .taca archive, streaming each member out as it is compressed. With
 // -append the archive is grown in place: new members land after the
@@ -344,6 +395,7 @@ func archiveCmd(args []string) {
 	delta := fs.Bool("delta", false, "campaign mode: delta-code members against their predecessors")
 	keyframe := fs.Int("keyframe", 8, "with -delta, keyframe interval bounding reference chains")
 	sum := fs.Bool("sum", false, "store per-frame digests so reads and 'tacc verify' detect corruption")
+	fsum := fs.Bool("fsum", false, "additionally seal the footer with a self-digest (format v4, implies -sum)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -395,6 +447,9 @@ func archiveCmd(args []string) {
 		// digests backfilled at commit). It never downgrades.
 		w.Checksums = true
 	}
+	if *fsum {
+		w.FooterSum = true
+	}
 	t0 := time.Now()
 	var orig int64
 	startOff := w.Stats().BytesWritten
@@ -431,26 +486,49 @@ func archiveCmd(args []string) {
 // lsCmd lists the members of an archive from its footer index alone:
 // per-member generation, coding mode (intra, or delta with its reference
 // member), and compression ratio come straight from the footer, no frame
-// is read.
+// is read. With -scrub every member's frames are verified too, a health
+// column (ok / DAMAGED) is appended, and any damage exits non-zero — the
+// quick way to see which member a `tacc repair` would target.
 func lsCmd(args []string) {
-	if len(args) != 1 {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	scrub := fs.Bool("scrub", false, "verify every member's frames and append a health column")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	rest := fs.Args()
+	if len(rest) != 1 {
 		usage()
 	}
-	r, err := archive.OpenFile(args[0])
+	r, err := archive.OpenFile(rest[0])
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer r.Close()
-	fmt.Printf("%-4s %-16s %-20s %6s %4s %-10s %12s %12s %8s %10s\n",
-		"#", "name", "field", "levels", "gen", "mode", "cells", "bytes", "CR", "eb")
+	health := ""
+	if *scrub {
+		health = "  health"
+	}
+	fmt.Printf("%-4s %-16s %-20s %6s %4s %-10s %12s %12s %8s %10s%s\n",
+		"#", "name", "field", "levels", "gen", "mode", "cells", "bytes", "CR", "eb", health)
+	damaged := 0
 	for i, m := range r.Members() {
 		mode := "intra"
 		if m.IsDelta() {
 			mode = fmt.Sprintf("delta->%d", m.Ref)
 		}
-		fmt.Printf("%-4d %-16s %-20s %6d %4d %-10s %12d %12d %8.1f %10.3g\n",
+		if *scrub {
+			health = "  ok"
+			if issues := r.ScrubMember(i); len(issues) > 0 {
+				health = fmt.Sprintf("  DAMAGED (%d frames)", len(issues))
+				damaged++
+			}
+		}
+		fmt.Printf("%-4d %-16s %-20s %6d %4d %-10s %12d %12d %8.1f %10.3g%s\n",
 			i, m.Name, m.Field, len(m.Levels), m.Gen, mode, m.StoredCells(), m.CompressedBytes(),
-			float64(m.OriginalBytes())/float64(m.CompressedBytes()), m.ErrorBound)
+			float64(m.OriginalBytes())/float64(m.CompressedBytes()), m.ErrorBound, health)
+	}
+	if damaged > 0 {
+		log.Fatalf("%s: %d of %d members damaged", rest[0], damaged, len(r.Members()))
 	}
 }
 

@@ -10,11 +10,17 @@
 //	     [-ingest] [-ingest-queue 4] [-keyframe 0] [-eb 0]
 //	     [-read-header-timeout 10s] [-read-timeout 5m] [-idle-timeout 2m]
 //	     [-request-timeout 0] [-scrub-interval 0]
+//	     [-replica name=replica.taca ...] [-quarantine-after 0]
 //	     archive.taca [name=other.taca ...]
 //
 // Each positional argument registers one archive, served under its base
-// name with the extension stripped (or an explicit name=path). Endpoints
-// (see internal/server for the full table):
+// name with the extension stripped (or an explicit name=path). -replica
+// attaches a healthy copy of an archive's file to its serving name
+// (repeatable; a bare path binds to the sole archive): reads fail over
+// to replicas per read when the primary errors, and a quarantined
+// member is automatically re-fetched, digest-verified, and spliced back
+// into the primary — the 502 lifts without a restart. Endpoints (see
+// internal/server for the full table):
 //
 //	GET  /archives
 //	GET  /a/{name}
@@ -22,6 +28,7 @@
 //	GET  /a/{name}/snap/{i}/amr
 //	GET  /a/{name}/snap/{i}/level/{l}[?roi=x0:x1,y0:y1,z0:z1]
 //	POST /a/{name}/ingest        (with -ingest)
+//	POST /a/{name}/repair[?member=i]   (with -replica)
 //	GET  /stats
 //	GET  /healthz
 //
@@ -40,12 +47,25 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/codec"
 	"repro/internal/server"
 )
+
+// specName is the serving name an archive spec registers under: the
+// explicit name of name=path, else the base name minus extension —
+// mirroring the server's own resolution so -replica can bind by name
+// before anything is opened.
+func specName(spec string) string {
+	if name, _, ok := strings.Cut(spec, "="); ok {
+		return name
+	}
+	return strings.TrimSuffix(filepath.Base(spec), filepath.Ext(spec))
+}
 
 func main() {
 	log.SetFlags(0)
@@ -64,8 +84,14 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "how long an idle keep-alive connection is held open")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request extraction deadline; overruns answer 504 (0 = unbounded)")
 	scrubInterval := flag.Duration("scrub-interval", 0, "background scrub period: verify every frame and quarantine damaged members (0 = off)")
+	quarantineAfter := flag.Int("quarantine-after", 0, "corruption strikes before a member is quarantined (0 = default, negative = never)")
+	var replicaSpecs []string
+	flag.Func("replica", "replica file for an archive, as name=path (repeatable; bare path binds to the sole archive)", func(v string) error {
+		replicaSpecs = append(replicaSpecs, v)
+		return nil
+	})
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: tacd [-listen :8080] [-cache-mb 256] [-shards 16] [-workers 0] [-ingest] archive.taca [name=other.taca ...]")
+		fmt.Fprintln(os.Stderr, "usage: tacd [-listen :8080] [-cache-mb 256] [-shards 16] [-workers 0] [-ingest] [-replica name=replica.taca] archive.taca [name=other.taca ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -77,31 +103,62 @@ func main() {
 	if *keyframe == 1 || *keyframe < 0 {
 		log.Fatalf("-keyframe must be 0 (off) or >= 2 (got %d)", *keyframe)
 	}
+	// Bind each -replica to its archive's serving name before anything is
+	// opened, so typos fail fast instead of silently serving unreplicated.
+	replicas := make(map[string][]string)
+	for _, rs := range replicaSpecs {
+		name, path, ok := strings.Cut(rs, "=")
+		if !ok {
+			if flag.NArg() != 1 {
+				log.Fatalf("-replica %q: name=path form is required when serving more than one archive", rs)
+			}
+			name, path = specName(flag.Arg(0)), rs
+		}
+		replicas[name] = append(replicas[name], path)
+	}
+	if *ingest && len(replicas) > 0 {
+		// The repair splice and the append tail would race over the same
+		// file region; replicated archives are read-only for now.
+		log.Fatal("-replica cannot be combined with -ingest")
+	}
+
 	s := server.New(server.Config{
-		CacheBytes:     *cacheMB << 20,
-		CacheShards:    *shards,
-		Workers:        *workers,
-		IngestQueue:    *ingestQueue,
-		IngestKeyframe: *keyframe,
-		RequestTimeout: *requestTimeout,
-		ScrubInterval:  *scrubInterval,
+		CacheBytes:      *cacheMB << 20,
+		CacheShards:     *shards,
+		Workers:         *workers,
+		IngestQueue:     *ingestQueue,
+		IngestKeyframe:  *keyframe,
+		RequestTimeout:  *requestTimeout,
+		ScrubInterval:   *scrubInterval,
+		QuarantineAfter: *quarantineAfter,
 	})
 	for _, spec := range flag.Args() {
 		var name string
 		var err error
-		if *ingest {
+		reps := replicas[specName(spec)]
+		delete(replicas, specName(spec))
+		switch {
+		case *ingest:
 			name, err = s.AddAppendFile(spec, codec.Config{ErrorBound: *eb, Workers: -1})
-		} else {
+		case len(reps) > 0:
+			name, err = s.AddFileReplicas(spec, reps)
+		default:
 			name, err = s.AddFile(spec)
 		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		mode := "ro"
-		if *ingest {
+		switch {
+		case *ingest:
 			mode = "rw"
+		case len(reps) > 0:
+			mode = fmt.Sprintf("ro, %d replicas", len(reps))
 		}
 		log.Printf("serving %s as /a/%s (%s)", spec, name, mode)
+	}
+	for name := range replicas {
+		log.Fatalf("-replica %s=...: no archive is served under that name", name)
 	}
 	log.Printf("listening on %s (%d archives, cache %d MiB / %d shards)",
 		*listen, len(s.Names()), *cacheMB, *shards)

@@ -73,6 +73,23 @@
 // archive the same way without decoding. Checksums are strictly opt-in:
 // with them off the output stays byte-identical to the v1/v2 formats
 // above, and v1–v3 archives (no digests) remain fully readable.
+//
+// Footer self-digest — format v4: per-frame digests leave the index
+// itself unverified, so a writer with FooterSum on additionally records a
+// CRC32C digest of the footer bytes (and of the trailer's length and
+// generation words) in the trailer:
+//
+//	trailer₅  uint64 LE footer length + uint64 LE generation +
+//	          uint32 LE footer CRC32C + "TACAEND5"
+//
+// (28 bytes; the footer layout itself is unchanged from v3). Open
+// verifies the digest before trusting a single index varint, and when the
+// newest footer fails it — a torn or bit-flipped index — falls back to the
+// previous committed generation's trailer, so index damage degrades the
+// archive to its last good generation instead of making it unreadable.
+// Like checksums, the footer digest is opt-in and sticky: with it off the
+// output is byte-identical to v1–v3, and once an archive commits at v4
+// every later append keeps the footer digest.
 package archive
 
 import (
@@ -99,6 +116,7 @@ const (
 	trailer2Len = 24 // appended generations: footer length + generation + magic
 	trailer3Len = 24 // v2 (delta-bearing) footer: footer length + generation + magic
 	trailer4Len = 24 // v3 (checksummed) footer: footer length + generation + magic
+	trailer5Len = 28 // v4 (footer-digested): footer length + generation + footer CRC32C + magic
 )
 
 var (
@@ -107,6 +125,7 @@ var (
 	trailer2Magic = [8]byte{'T', 'A', 'C', 'A', 'E', 'N', 'D', '2'}
 	trailer3Magic = [8]byte{'T', 'A', 'C', 'A', 'E', 'N', 'D', '3'}
 	trailer4Magic = [8]byte{'T', 'A', 'C', 'A', 'E', 'N', 'D', '4'}
+	trailer5Magic = [8]byte{'T', 'A', 'C', 'A', 'E', 'N', 'D', '5'}
 )
 
 // castagnoli is the CRC32C table frame digests are computed with. The

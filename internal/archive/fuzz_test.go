@@ -133,6 +133,50 @@ func FuzzOpen(f *testing.F) {
 	sflip[len(sflip)-trailer4Len-6] ^= 0x11 // corrupt a footer byte near the digests
 	f.Add(sflip)
 
+	// Seeds 9-11: a multi-generation v4 archive (footer digest under
+	// TACAEND5), a footer-digest flip that must fall back to the previous
+	// generation, and a flip inside the digest word itself.
+	vpath := filepath.Join(dir, "fsum.taca")
+	vfl, err := os.Create(vpath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	vw, err := NewWriter(vfl)
+	if err != nil {
+		f.Fatal(err)
+	}
+	vw.BatchBlocks = 8
+	vw.FooterSum = true
+	if err := vw.AddDataset(mkSnap("v0", 21), codec.Config{ErrorBound: 1e9}); err != nil {
+		f.Fatal(err)
+	}
+	if err := vw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	vfl.Close()
+	vw2, vfl2, err := OpenAppendFile(vpath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := vw2.AddDataset(mkSnap("v1", 22), codec.Config{ErrorBound: 1e9}); err != nil {
+		f.Fatal(err)
+	}
+	if err := vw2.Close(); err != nil {
+		f.Fatal(err)
+	}
+	vfl2.Close()
+	fv4, err := os.ReadFile(vpath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fv4)
+	vflip := append([]byte(nil), fv4...)
+	vflip[len(vflip)-trailer5Len-9] ^= 0x10 // footer flip: digest must reject, Open falls back a generation
+	f.Add(vflip)
+	cflip := append([]byte(nil), fv4...)
+	cflip[len(cflip)-10] ^= 0x10 // flip inside the trailer's digest word
+	f.Add(cflip)
+
 	f.Fuzz(func(t *testing.T, b []byte) {
 		if len(b) > 1<<20 {
 			return

@@ -44,7 +44,8 @@ type Reader struct {
 	r       io.ReaderAt
 	size    int64 // end of the generation this Reader parsed, ≤ the file size
 	gen     uint64
-	sums    bool // footer is v3: every frame carries a CRC32C digest
+	sums    bool // footer is v3+: every frame carries a CRC32C digest
+	fsum    bool // footer is v4: the trailer carries a CRC32C digest of the footer itself
 	members []Member
 }
 
@@ -52,6 +53,12 @@ type Reader struct {
 // CRC32C digests (format v3): every frame read is then verified, and
 // Scrub audits without decoding.
 func (r *Reader) Checksummed() bool { return r.sums }
+
+// FooterChecksummed reports whether the archive's newest trailer carries
+// a CRC32C digest of the footer itself (format v4): Open verified the
+// index before trusting it, and falls back to the previous committed
+// generation when the newest footer is damaged.
+func (r *Reader) FooterChecksummed() bool { return r.fsum }
 
 // Open reads and parses the archive index from r, which must cover size
 // bytes. If the tail of the file is torn — a crash mid-append left a
@@ -119,6 +126,13 @@ func openAt(r io.ReaderAt, end int64) (*Reader, error) {
 		if end < headerLen+trailer4Len {
 			return nil, fmt.Errorf("archive: %w: %d bytes is too short for a generation trailer", ErrCorrupt, end)
 		}
+	case trailer5Magic:
+		// v4: the v3 footer layout sealed under a whole-footer digest.
+		tlen = trailer5Len
+		ver = 4
+		if end < headerLen+trailer5Len {
+			return nil, fmt.Errorf("archive: %w: %d bytes is too short for a footer-digest trailer", ErrCorrupt, end)
+		}
 	default:
 		return nil, fmt.Errorf("archive: %w: bad trailer magic %q", ErrCorrupt, magic)
 	}
@@ -130,7 +144,7 @@ func openAt(r io.ReaderAt, end int64) (*Reader, error) {
 	for i := 7; i >= 0; i-- {
 		flen = flen<<8 | uint64(trailer[i])
 	}
-	if tlen == trailer2Len {
+	if tlen >= trailer2Len {
 		for i := 7; i >= 0; i-- {
 			gen = gen<<8 | uint64(trailer[8+i])
 		}
@@ -144,6 +158,22 @@ func openAt(r io.ReaderAt, end int64) (*Reader, error) {
 	footer := make([]byte, flen)
 	if _, err := r.ReadAt(footer, end-tlen-int64(flen)); err != nil {
 		return nil, fmt.Errorf("archive: %w: reading footer: %w", ErrCorrupt, err)
+	}
+	if ver >= 4 {
+		// Verify the footer digest before trusting a single index varint:
+		// it seals the footer bytes plus the trailer's length and
+		// generation words, so a flip anywhere in the index — or in the
+		// words that locate it — is rejected here, and Open falls back to
+		// the previous committed generation.
+		var want uint32
+		for i := 3; i >= 0; i-- {
+			want = want<<8 | uint32(trailer[16+i])
+		}
+		got := crc32.Checksum(footer, castagnoli)
+		got = crc32.Update(got, castagnoli, trailer[:16])
+		if got != want {
+			return nil, fmt.Errorf("archive: %w: footer digest %08x, trailer records %08x", ErrCorrupt, got, want)
+		}
 	}
 	members, err := decodeFooter(footer, ver)
 	if err != nil {
@@ -159,7 +189,7 @@ func openAt(r io.ReaderAt, end int64) (*Reader, error) {
 			}
 		}
 	}
-	return &Reader{r: r, size: end, gen: gen, sums: ver >= 3, members: members}, nil
+	return &Reader{r: r, size: end, gen: gen, sums: ver >= 3, fsum: ver >= 4, members: members}, nil
 }
 
 // recoverScan searches backward from size for the newest end-of-trailer
@@ -193,7 +223,7 @@ func recoverScan(r io.ReaderAt, size int64) (*Reader, int64, error) {
 				continue
 			}
 			m := [8]byte(win[i : i+8])
-			if m != trailerMagic && m != trailer2Magic && m != trailer3Magic && m != trailer4Magic {
+			if m != trailerMagic && m != trailer2Magic && m != trailer3Magic && m != trailer4Magic && m != trailer5Magic {
 				continue
 			}
 			end := lo + int64(i) + 8

@@ -63,6 +63,17 @@ type Writer struct {
 	// it from the tail).
 	Checksums bool
 
+	// FooterSum additionally records a CRC32C digest of the footer bytes
+	// (and of the trailer's length and generation words) in the trailer,
+	// committing the v4 (TACAEND5) format: Open verifies the index itself
+	// before trusting it and falls back to the previous committed
+	// generation when the newest footer is damaged. Implies Checksums —
+	// an index worth digesting indexes digested frames — with the same
+	// set-before-the-first-frame rule, and is equally sticky across
+	// appends (OpenAppend inherits it from a v4 tail). Off (the default)
+	// leaves the output byte-identical to the v1–v3 formats.
+	FooterSum bool
+
 	w       io.Writer
 	file    *os.File // non-nil for append-mode writers: enables Commit's fsync ordering
 	off     int64    // bytes emitted so far == next frame's offset
@@ -497,7 +508,7 @@ func (w *Writer) writeFrame(blob []byte, idx *LevelIndex) error {
 		return fmt.Errorf("archive: writing frame: %w", err)
 	}
 	idx.Batches = append(idx.Batches, BatchRecord{Offset: w.off, Length: int64(len(blob))})
-	if w.Checksums {
+	if w.Checksums || w.FooterSum {
 		idx.Sums = append(idx.Sums, crc32.Checksum(blob, castagnoli))
 	}
 	w.off += int64(len(blob))
@@ -629,12 +640,17 @@ func (w *Writer) Generation() uint64 { return w.committed }
 // writer with Checksums on — or appending to an archive that already
 // carries frame digests — commits the v3 footer under TACAEND4,
 // backfilling digests for any frames written before the flag was set.
+// FooterSum further seals the same footer bytes under the digest-bearing
+// TACAEND5 trailer (v4).
 func (w *Writer) Commit() error {
 	if w.closed {
 		return fmt.Errorf("archive: writer is closed")
 	}
 	if w.cur != nil {
 		return fmt.Errorf("archive: member %q still open", w.cur.member.Name)
+	}
+	if w.FooterSum {
+		w.Checksums = true
 	}
 	ver := 1
 	if needV2(w.members) {
@@ -645,6 +661,9 @@ func (w *Writer) Commit() error {
 		if err := w.backfillSums(); err != nil {
 			return err
 		}
+	}
+	if w.FooterSum {
+		ver = 4
 	}
 	footer, err := encodeFooter(w.members, ver)
 	if err != nil {
@@ -662,6 +681,23 @@ func (w *Writer) Commit() error {
 	flen := uint64(len(footer))
 	var trailer []byte
 	switch {
+	case ver >= 4:
+		trailer = make([]byte, 0, trailer5Len)
+		for i := 0; i < 8; i++ {
+			trailer = append(trailer, byte(flen>>(8*i)))
+		}
+		for i := 0; i < 8; i++ {
+			trailer = append(trailer, byte(w.committed>>(8*i)))
+		}
+		// The digest seals the footer bytes plus the length and
+		// generation words above, so a flip anywhere in the index or in
+		// the words that locate it fails verification.
+		sum := crc32.Checksum(footer, castagnoli)
+		sum = crc32.Update(sum, castagnoli, trailer)
+		for i := 0; i < 4; i++ {
+			trailer = append(trailer, byte(sum>>(8*i)))
+		}
+		trailer = append(trailer, trailer5Magic[:]...)
 	case ver >= 3:
 		trailer = make([]byte, 0, trailer4Len)
 		for i := 0; i < 8; i++ {

@@ -18,6 +18,7 @@
 package faultio
 
 import (
+	"context"
 	"io"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,7 @@ type ReaderAt struct {
 	Sleep func(time.Duration)
 
 	plan   atomic.Pointer[Plan]
+	ctx    atomic.Pointer[context.Context]
 	calls  atomic.Int64
 	faults atomic.Int64
 }
@@ -79,6 +81,20 @@ func (f *ReaderAt) SetPlan(p Plan) {
 	f.plan.Store(&p)
 }
 
+// SetContext arms ctx for Delay faults: an injected stall returns early
+// with ctx.Err() the moment the context is done, the way a real kernel
+// read returns when the caller's deadline cancels it — so a request
+// deadline test is not stuck sleeping out the full scripted latency after
+// its 504 already fired. nil disarms. The Sleep hook, when set, still
+// wins (recording clocks want the unshortened duration).
+func (f *ReaderAt) SetContext(ctx context.Context) {
+	if ctx == nil {
+		f.ctx.Store(nil)
+		return
+	}
+	f.ctx.Store(&ctx)
+}
+
 // Calls returns the number of ReadAt calls seen so far.
 func (f *ReaderAt) Calls() int64 { return f.calls.Load() }
 
@@ -96,10 +112,26 @@ func (f *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
 	}
 	f.faults.Add(1)
 	if ft.Delay > 0 {
-		if f.Sleep != nil {
+		switch {
+		case f.Sleep != nil:
 			f.Sleep(ft.Delay)
-		} else {
-			time.Sleep(ft.Delay)
+		default:
+			var done <-chan struct{}
+			if cp := f.ctx.Load(); cp != nil {
+				done = (*cp).Done()
+			}
+			if done == nil {
+				time.Sleep(ft.Delay)
+				break
+			}
+			t := time.NewTimer(ft.Delay)
+			select {
+			case <-t.C:
+			case <-done:
+				t.Stop()
+				return 0, (*f.ctx.Load()).Err()
+			}
+			t.Stop()
 		}
 	}
 	if ft.Err != nil {

@@ -2,6 +2,7 @@ package faultio
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"testing"
@@ -134,5 +135,29 @@ func TestCompose(t *testing.T) {
 	}
 	if p[2] != byte(2)^0x01 {
 		t.Fatal("second plan's flip not applied after the first healed")
+	}
+}
+
+func TestDelayRespectsContext(t *testing.T) {
+	f := New(backing())
+	f.SetPlan(Delay(10 * time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	f.SetContext(ctx)
+	start := time.Now()
+	p := make([]byte, 4)
+	_, err := f.ReadAt(p, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("delayed read under expired context = %v, want DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("read slept %v of a 10s injected stall; context should cut it short", el)
+	}
+	// Disarming the context restores plain sleeps (through the clean path
+	// here: plan off, no delay at all).
+	f.SetContext(nil)
+	f.SetPlan(nil)
+	if _, err := f.ReadAt(p, 0); err != nil {
+		t.Fatalf("clean read after disarm: %v", err)
 	}
 }

@@ -1,0 +1,256 @@
+// Package replica provides a multi-source io.ReaderAt: an ordered set of
+// byte-identical copies of one archive (the local file first, then
+// secondary replicas) read through per-request failover. Every read tries
+// the highest-priority healthy source and walks down the list on failure,
+// so one bad replica never stalls a request; a source that fails
+// DemoteAfter consecutive reads is demoted by a circuit breaker and only
+// probed again after a bounded exponential backoff, so a dead source
+// costs one probe per backoff window instead of one failed syscall per
+// read. The serving layer mounts an archive.Reader directly on a Multi,
+// and the repair path uses a replicas-only Multi as its fetch source.
+//
+// Source is deliberately tiny — io.ReaderAt plus a label — so an HTTP
+// range-request source over object storage slots in without touching the
+// failover machinery.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Source is one copy of the archive: any io.ReaderAt plus a label for
+// health reporting. Sources that also implement io.Closer are closed by
+// Multi.Close.
+type Source interface {
+	io.ReaderAt
+	Label() string
+}
+
+// readerSource adapts a plain io.ReaderAt.
+type readerSource struct {
+	r     io.ReaderAt
+	label string
+}
+
+func (s readerSource) ReadAt(p []byte, off int64) (int, error) { return s.r.ReadAt(p, off) }
+func (s readerSource) Label() string                           { return s.label }
+
+// Reader wraps any io.ReaderAt as a Source.
+func Reader(r io.ReaderAt, label string) Source { return readerSource{r: r, label: label} }
+
+// FileSource is a Source over a local file. Multi.Close closes it.
+type FileSource struct {
+	f    *os.File
+	size int64
+}
+
+func (s *FileSource) ReadAt(p []byte, off int64) (int, error) { return s.f.ReadAt(p, off) }
+func (s *FileSource) Label() string                           { return s.f.Name() }
+func (s *FileSource) Close() error                            { return s.f.Close() }
+
+// Size returns the file's size at open time — the archive size the
+// serving layer passes to archive.Open.
+func (s *FileSource) Size() int64 { return s.size }
+
+// OpenFile opens the file at path as a Source.
+func OpenFile(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileSource{f: f, size: st.Size()}, nil
+}
+
+// Config tunes the failover machinery. The zero value is ready to use.
+type Config struct {
+	// DemoteAfter is the consecutive-failure count that trips a source's
+	// circuit breaker. Default 3.
+	DemoteAfter int
+	// Probe is the initial backoff before a demoted source is tried
+	// again; each failed probe doubles it up to MaxProbe. Defaults
+	// 250ms and 30s.
+	Probe    time.Duration
+	MaxProbe time.Duration
+	// Now is the clock, a seam for deterministic tests. Default time.Now.
+	Now func() time.Time
+}
+
+func (c *Config) fill() {
+	if c.DemoteAfter <= 0 {
+		c.DemoteAfter = 3
+	}
+	if c.Probe <= 0 {
+		c.Probe = 250 * time.Millisecond
+	}
+	if c.MaxProbe <= 0 {
+		c.MaxProbe = 30 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// sourceState is one source plus its health ledger.
+type sourceState struct {
+	src Source
+
+	mu        sync.Mutex
+	streak    int  // consecutive failures
+	demoted   bool // circuit breaker open
+	retryAt   time.Time
+	backoff   time.Duration
+	reads     int64 // successful reads served
+	failures  int64
+	demotions int64 // breaker trips, including failed probes that re-arm it
+}
+
+// candidate reports whether the source should be tried on the primary
+// pass: healthy, or demoted with its probe window due.
+func (ss *sourceState) candidate(now time.Time) bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return !ss.demoted || !now.Before(ss.retryAt)
+}
+
+func (ss *sourceState) succeed() {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.reads++
+	ss.streak = 0
+	ss.demoted = false
+	ss.backoff = 0
+}
+
+func (ss *sourceState) fail(now time.Time, cfg Config) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.failures++
+	ss.streak++
+	if !ss.demoted && ss.streak < cfg.DemoteAfter {
+		return
+	}
+	// Trip (or re-arm, for a failed probe) the breaker with doubled,
+	// capped backoff.
+	if ss.backoff == 0 {
+		ss.backoff = cfg.Probe
+	} else if ss.backoff < cfg.MaxProbe {
+		ss.backoff *= 2
+		if ss.backoff > cfg.MaxProbe {
+			ss.backoff = cfg.MaxProbe
+		}
+	}
+	ss.demoted = true
+	ss.demotions++
+	ss.retryAt = now.Add(ss.backoff)
+}
+
+// SourceStats is one source's health snapshot.
+type SourceStats struct {
+	Label      string `json:"label"`
+	Reads      int64  `json:"reads"`
+	Failures   int64  `json:"failures"`
+	Demotions  int64  `json:"demotions"`
+	Demoted    bool   `json:"demoted"`
+	FailStreak int    `json:"fail_streak"`
+}
+
+// Multi is the failover ReaderAt over an ordered set of sources. It is
+// safe for concurrent use.
+type Multi struct {
+	cfg  Config
+	srcs []*sourceState
+}
+
+// New builds a Multi over sources, tried in the given order. At least one
+// source is required.
+func New(cfg Config, sources ...Source) (*Multi, error) {
+	if len(sources) == 0 {
+		return nil, errors.New("replica: no sources")
+	}
+	cfg.fill()
+	m := &Multi{cfg: cfg, srcs: make([]*sourceState, len(sources))}
+	for i, s := range sources {
+		m.srcs[i] = &sourceState{src: s}
+	}
+	return m, nil
+}
+
+// ReadAt serves the read from the first source that returns the full
+// span, walking the list in priority order. Demoted sources whose probe
+// window has not arrived are skipped on the first pass but retried as a
+// last resort when every other source fails — an archive with one
+// surviving copy keeps serving even mid-backoff. A short read (a replica
+// lagging generations is a strict byte-prefix of the primary) counts as
+// that source failing. The returned error is the last source's, wrapped
+// with its label.
+func (m *Multi) ReadAt(p []byte, off int64) (int, error) {
+	now := m.cfg.Now()
+	var lastErr error
+	tried := make([]bool, len(m.srcs))
+	for pass := 0; pass < 2; pass++ {
+		for i, ss := range m.srcs {
+			if tried[i] || (pass == 0 && !ss.candidate(now)) {
+				continue
+			}
+			tried[i] = true
+			n, err := ss.src.ReadAt(p, off)
+			if n == len(p) {
+				// A full read is a success even at io.EOF (the span ends
+				// exactly at the source's last byte).
+				ss.succeed()
+				return n, nil
+			}
+			if err == nil {
+				err = io.ErrUnexpectedEOF
+			}
+			ss.fail(now, m.cfg)
+			lastErr = fmt.Errorf("replica: source %s: %w", ss.src.Label(), err)
+		}
+	}
+	return 0, lastErr
+}
+
+// Stats snapshots every source's health, in priority order.
+func (m *Multi) Stats() []SourceStats {
+	out := make([]SourceStats, len(m.srcs))
+	for i, ss := range m.srcs {
+		ss.mu.Lock()
+		out[i] = SourceStats{
+			Label:      ss.src.Label(),
+			Reads:      ss.reads,
+			Failures:   ss.failures,
+			Demotions:  ss.demotions,
+			Demoted:    ss.demoted,
+			FailStreak: ss.streak,
+		}
+		ss.mu.Unlock()
+	}
+	return out
+}
+
+// Len returns the number of sources.
+func (m *Multi) Len() int { return len(m.srcs) }
+
+// Close closes every source that implements io.Closer, returning the
+// first error.
+func (m *Multi) Close() error {
+	var first error
+	for _, ss := range m.srcs {
+		if c, ok := ss.src.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -154,6 +154,25 @@ func (c *Cache) Purge() {
 	}
 }
 
+// PurgeMember drops every resident entry of one member of one archive —
+// the repair path calls it after resplicing the member's frames on disk,
+// so blocks decoded while the member was damaged cannot outlive the
+// repair.
+func (c *Cache) PurgeMember(name string, mi int) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.m {
+			if k.Archive == name && k.Member == mi {
+				sh.unlink(e)
+				delete(sh.m, k)
+				sh.bytes -= e.cost
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // Stats sums the shard counters.
 func (c *Cache) Stats() CacheStats {
 	var st CacheStats

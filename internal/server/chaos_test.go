@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -210,8 +211,11 @@ func TestChaosBackgroundScrubber(t *testing.T) {
 	}
 }
 
-// TestChaosLatencyDeadline stalls every read long past the configured
-// request budget: the request must come back 504, not hang.
+// TestChaosLatencyDeadline stalls every read far past the configured
+// request budget: the request must come back 504, not hang. The stall is
+// ten seconds but the injected delay honors context cancellation, so the
+// in-flight read is freed the moment the deadline fires — the whole
+// request lives and dies in tens of milliseconds, not storage time.
 func TestChaosLatencyDeadline(t *testing.T) {
 	blob := chaosArchiveBytes(t)
 	fr := faultio.New(bytes.NewReader(blob))
@@ -223,14 +227,22 @@ func TestChaosLatencyDeadline(t *testing.T) {
 	if err := s.Add("test", r, nil); err != nil {
 		t.Fatal(err)
 	}
-	fr.SetPlan(faultio.Delay(30 * time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	fr.SetContext(ctx)
+	fr.SetPlan(faultio.Delay(10 * time.Second))
+	start := time.Now()
 	rec := get(t, s.Handler(), "/a/test/snap/0/level/0")
 	if rec.Code != http.StatusGatewayTimeout {
 		t.Fatalf("stalled storage: status %d, want 504: %s", rec.Code, rec.Body.String())
 	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("stalled read pinned the request for %v; cancellation did not free it", el)
+	}
 	// With the stall lifted the same request serves clean — a deadline
 	// overrun is transient, never a quarantine.
 	fr.SetPlan(nil)
+	fr.SetContext(nil)
 	if rec := get(t, s.Handler(), "/a/test/snap/0/level/0"); rec.Code != http.StatusOK {
 		t.Fatalf("after the stall lifted: status %d", rec.Code)
 	}

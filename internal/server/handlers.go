@@ -62,6 +62,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /a/{name}/snap/{snap}/amr", s.handleSnapAMR)
 	mux.HandleFunc("GET /a/{name}/snap/{snap}/level/{level}", s.handleLevel)
 	mux.HandleFunc("POST /a/{name}/ingest", s.handleIngest)
+	mux.HandleFunc("POST /a/{name}/repair", s.handleRepair)
 	return mux
 }
 
@@ -98,6 +99,8 @@ func httpError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", "5")
 		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNoReplica):
+		code = http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded):
 		code = http.StatusGatewayTimeout
 	}

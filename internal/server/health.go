@@ -22,11 +22,15 @@ var ErrQuarantined = errors.New("member quarantined")
 // healthCounters are the server-wide fault-tolerance counters /stats
 // exposes.
 type healthCounters struct {
-	retries       atomic.Int64 // frame reads retried after transient I/O errors
-	corruptEvents atomic.Int64 // deterministic ErrCorrupt detections on the request path
-	quarantines   atomic.Int64 // members quarantined since start (never decremented)
-	scrubPasses   atomic.Int64 // completed background scrub sweeps
-	scrubIssues   atomic.Int64 // damaged frames found by scrubs
+	retries          atomic.Int64 // frame reads retried after transient I/O errors
+	corruptEvents    atomic.Int64 // deterministic ErrCorrupt detections on the request path
+	quarantines      atomic.Int64 // members quarantined since start (never decremented)
+	scrubPasses      atomic.Int64 // completed background scrub sweeps
+	scrubIssues      atomic.Int64 // damaged frames found by scrubs
+	repairsAttempted atomic.Int64 // member repair attempts (manual + automatic)
+	repairsSucceeded atomic.Int64 // repair attempts that left the member clean
+	framesRespliced  atomic.Int64 // damaged frames re-fetched from a replica and spliced back
+	unquarantines    atomic.Int64 // members returned to service by a repair
 }
 
 // HealthStats is the /stats health section.
@@ -37,6 +41,10 @@ type HealthStats struct {
 	QuarantinedMembers int64 `json:"quarantined_members"`
 	ScrubPasses        int64 `json:"scrub_passes"`
 	ScrubIssues        int64 `json:"scrub_issues"`
+	RepairsAttempted   int64 `json:"repairs_attempted"`
+	RepairsSucceeded   int64 `json:"repairs_succeeded"`
+	FramesRespliced    int64 `json:"frames_respliced"`
+	Unquarantines      int64 `json:"unquarantines"`
 	Degraded           bool  `json:"degraded"`
 	// Quarantined lists the quarantined member indices per archive.
 	Quarantined map[string][]int `json:"quarantined,omitempty"`
@@ -46,36 +54,84 @@ type HealthStats struct {
 // is healthy until ErrCorrupt detections against it reach the quarantine
 // threshold (or a scrub finds damage), after which it is quarantined:
 // requests for it — and for members whose reference chain passes through
-// it — answer ErrQuarantined until the process restarts with a repaired
-// archive. Transient I/O errors (archive.ErrIO) never count: they are
-// retried, not held against the member.
+// it — answer ErrQuarantined until a repair heals the damaged member
+// (replica-backed archives attempt one automatically the moment the
+// quarantine trips) or the process restarts with a repaired archive.
+// Transient I/O errors (archive.ErrIO) never count: they are retried,
+// not held against the member.
 type archiveHealth struct {
 	mu          sync.Mutex
 	strikes     map[int]int
-	quarantined map[int]string // member index -> reason
+	quarantined map[int]quarRecord
+}
+
+// quarRecord is one quarantined member: why, and which damaged member's
+// quarantine caused it — itself for direct damage, the root of its
+// reference chain for a chain-closure quarantine. Repairing the root
+// lifts every record tied to it.
+type quarRecord struct {
+	reason string
+	via    int
 }
 
 // quarantinedMember reports whether member mi is out of service, and why.
 func (sa *servedArchive) quarantinedMember(mi int) (string, bool) {
 	sa.health.mu.Lock()
 	defer sa.health.mu.Unlock()
-	reason, ok := sa.health.quarantined[mi]
-	return reason, ok
+	rec, ok := sa.health.quarantined[mi]
+	return rec.reason, ok
 }
 
-// quarantine takes member mi out of service, reporting whether this call
-// was the one that did it.
-func (sa *servedArchive) quarantine(mi int, reason string) bool {
+// quarantine takes member mi out of service (via names the damaged
+// member responsible — mi itself for direct damage), reporting whether
+// this call was the one that did it.
+func (sa *servedArchive) quarantine(mi, via int, reason string) bool {
 	sa.health.mu.Lock()
 	defer sa.health.mu.Unlock()
 	if _, done := sa.health.quarantined[mi]; done {
 		return false
 	}
 	if sa.health.quarantined == nil {
-		sa.health.quarantined = make(map[int]string)
+		sa.health.quarantined = make(map[int]quarRecord)
 	}
-	sa.health.quarantined[mi] = reason
+	sa.health.quarantined[mi] = quarRecord{reason: reason, via: via}
 	return true
+}
+
+// liftQuarantine returns member root — just repaired — and every member
+// quarantined via it to service, clearing their strikes, and returns the
+// lifted member indices sorted.
+func (sa *servedArchive) liftQuarantine(root int) []int {
+	sa.health.mu.Lock()
+	defer sa.health.mu.Unlock()
+	var lifted []int
+	for mi, rec := range sa.health.quarantined {
+		if mi == root || rec.via == root {
+			delete(sa.health.quarantined, mi)
+			delete(sa.health.strikes, mi)
+			lifted = append(lifted, mi)
+		}
+	}
+	delete(sa.health.strikes, root)
+	sort.Ints(lifted)
+	return lifted
+}
+
+// quarantineRoots returns the distinct damaged members responsible for
+// the current quarantines, sorted — the repair worklist.
+func (sa *servedArchive) quarantineRoots() []int {
+	sa.health.mu.Lock()
+	defer sa.health.mu.Unlock()
+	seen := make(map[int]bool)
+	var roots []int
+	for _, rec := range sa.health.quarantined {
+		if !seen[rec.via] {
+			seen[rec.via] = true
+			roots = append(roots, rec.via)
+		}
+	}
+	sort.Ints(roots)
+	return roots
 }
 
 // recordCorrupt counts one deterministic corruption detection against
@@ -94,7 +150,7 @@ func (sa *servedArchive) recordCorrupt(mi, threshold int, reason string) bool {
 	hit := sa.health.strikes[mi] >= threshold
 	sa.health.mu.Unlock()
 	if hit {
-		return sa.quarantine(mi, reason)
+		return sa.quarantine(mi, mi, reason)
 	}
 	return false
 }
@@ -126,6 +182,12 @@ func (s *Server) noteError(sa *servedArchive, mi int, err error) {
 	s.health.corruptEvents.Add(1)
 	if sa.recordCorrupt(mi, s.cfg.QuarantineAfter, fmt.Sprintf("repeated corruption: %v", err)) {
 		s.health.quarantines.Add(1)
+		// Replica-backed archives try to heal the member right away,
+		// synchronously: the request that tripped the quarantine still
+		// fails, but by the time its response is on the wire the member
+		// is either repaired and back in service or confirmed
+		// unrepairable (replicas damaged too — quarantine stands).
+		s.tryAutoRepair(sa, mi)
 	}
 }
 
@@ -160,11 +222,15 @@ func defaultJitter() float64 { return rand.Float64() }
 // map.
 func (s *Server) HealthStats() HealthStats {
 	hs := HealthStats{
-		Retries:       s.health.retries.Load(),
-		CorruptEvents: s.health.corruptEvents.Load(),
-		Quarantines:   s.health.quarantines.Load(),
-		ScrubPasses:   s.health.scrubPasses.Load(),
-		ScrubIssues:   s.health.scrubIssues.Load(),
+		Retries:          s.health.retries.Load(),
+		CorruptEvents:    s.health.corruptEvents.Load(),
+		Quarantines:      s.health.quarantines.Load(),
+		ScrubPasses:      s.health.scrubPasses.Load(),
+		ScrubIssues:      s.health.scrubIssues.Load(),
+		RepairsAttempted: s.health.repairsAttempted.Load(),
+		RepairsSucceeded: s.health.repairsSucceeded.Load(),
+		FramesRespliced:  s.health.framesRespliced.Load(),
+		Unquarantines:    s.health.unquarantines.Load(),
 	}
 	s.mu.RLock()
 	archives := make([]*servedArchive, 0, len(s.archives))
@@ -231,8 +297,9 @@ func (s *Server) ScrubOnce() int {
 			if len(probs) > 0 {
 				issues += len(probs)
 				s.health.scrubIssues.Add(int64(len(probs)))
-				if sa.quarantine(mi, fmt.Sprintf("scrub: %v", probs[0].Err)) {
+				if sa.quarantine(mi, mi, fmt.Sprintf("scrub: %v", probs[0].Err)) {
 					s.health.quarantines.Add(1)
+					s.tryAutoRepair(sa, mi)
 				}
 			}
 			s.sleep(scrubMemberPause)
@@ -249,7 +316,7 @@ func (s *Server) ScrubOnce() int {
 				if !q {
 					continue
 				}
-				if sa.quarantine(mi, fmt.Sprintf("reference member %d quarantined (%s)", r, reason)) {
+				if sa.quarantine(mi, r, fmt.Sprintf("reference member %d quarantined (%s)", r, reason)) {
 					s.health.quarantines.Add(1)
 				}
 				break

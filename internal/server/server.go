@@ -36,6 +36,7 @@ import (
 	"repro/internal/amr"
 	"repro/internal/archive"
 	"repro/internal/grid"
+	"repro/internal/replica"
 )
 
 // Defaults for Config zero values.
@@ -155,6 +156,15 @@ type servedArchive struct {
 	state  atomic.Pointer[archiveState]
 	ing    *ingester     // non-nil iff the archive accepts POST ingest
 	health archiveHealth // per-member quarantine state machine
+
+	// Self-healing hooks, set by AddFileReplicas: the local file path
+	// (splice target for in-place member repair) and the replicas-only
+	// failover reader repairs fetch healthy frames from. Both nil/empty
+	// for archives registered without replicas — repair then answers
+	// ErrNoReplica.
+	path     string
+	replicas *replica.Multi
+	repairMu sync.Mutex // serializes repair attempts on this archive
 }
 
 // view pins the current generation for the duration of one operation.
@@ -246,10 +256,14 @@ func (s *Server) Add(name string, r *archive.Reader, closer io.Closer) error {
 }
 
 func (s *Server) add(name string, r *archive.Reader, closer io.Closer, ing *ingester) error {
+	return s.addArchive(&servedArchive{name: name, closer: closer, ing: ing}, r)
+}
+
+func (s *Server) addArchive(sa *servedArchive, r *archive.Reader) error {
+	name, ing := sa.name, sa.ing
 	if name == "" {
 		return fmt.Errorf("server: empty archive name")
 	}
-	sa := &servedArchive{name: name, closer: closer, ing: ing}
 	sa.state.Store(newArchiveState(r, nil))
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -280,6 +294,72 @@ func (s *Server) AddFile(spec string) (string, error) {
 	}
 	if err := s.Add(name, fr.Reader, fr); err != nil {
 		fr.Close()
+		return "", err
+	}
+	return name, nil
+}
+
+// AddFileReplicas is AddFile with replica copies attached: the archive is
+// served through a failover reader over [local, replicas...] — a source
+// that fails repeatedly is demoted and probed on a backoff, and a read
+// the local file cannot serve fails over to the next copy — and the
+// replicas double as the fetch source for member repair (POST
+// /a/{name}/repair, and the automatic repair attempt when a member is
+// quarantined). Every copy must be byte-identical to the primary at its
+// newest generation (a replica lagging generations is tolerated: reads
+// past its end fail over). With no replica paths this is exactly AddFile.
+func (s *Server) AddFileReplicas(spec string, replicaPaths []string) (string, error) {
+	if len(replicaPaths) == 0 {
+		return s.AddFile(spec)
+	}
+	name, path, ok := strings.Cut(spec, "=")
+	if !ok {
+		path = spec
+		name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	srcs := make([]replica.Source, 0, 1+len(replicaPaths))
+	closeAll := func() {
+		for _, src := range srcs {
+			if c, ok := src.(io.Closer); ok {
+				c.Close()
+			}
+		}
+	}
+	primary, err := replica.OpenFile(path)
+	if err != nil {
+		return "", err
+	}
+	srcs = append(srcs, primary)
+	for _, rp := range replicaPaths {
+		src, err := replica.OpenFile(rp)
+		if err != nil {
+			closeAll()
+			return "", err
+		}
+		srcs = append(srcs, src)
+	}
+	serve, err := replica.New(replica.Config{}, srcs...)
+	if err != nil {
+		closeAll()
+		return "", err
+	}
+	// The repair fetch path reads from the replicas only — re-fetching a
+	// damaged frame from the file being repaired would splice the damage
+	// back. Sources are shared with the serve Multi; only serve owns
+	// closing them.
+	fetch, err := replica.New(replica.Config{}, srcs[1:]...)
+	if err != nil {
+		serve.Close()
+		return "", err
+	}
+	r, err := archive.Open(serve, primary.Size())
+	if err != nil {
+		serve.Close()
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	sa := &servedArchive{name: name, closer: serve, path: path, replicas: fetch}
+	if err := s.addArchive(sa, r); err != nil {
+		serve.Close()
 		return "", err
 	}
 	return name, nil
