@@ -36,6 +36,7 @@ type report struct {
 	Ingest     experiments.IngestBenchResult    `json:"ingest"`
 	Temporal   experiments.TemporalBenchResult  `json:"temporal"`
 	Integrity  experiments.IntegrityBenchResult `json:"integrity"`
+	Remote     experiments.RemoteBenchResult    `json:"remote"`
 	TotalSecs  float64                          `json:"total_seconds"`
 }
 
@@ -116,6 +117,11 @@ func main() {
 			log.Fatalf("integrity bench: %v", err)
 		}
 		rep.Integrity = integ
+		rem, err := experiments.RemoteBench(env)
+		if err != nil {
+			log.Fatalf("remote bench: %v", err)
+		}
+		rep.Remote = rem
 		rep.TotalSecs = time.Since(start).Seconds()
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -151,6 +157,13 @@ func main() {
 		}
 		fmt.Printf("[repair: %d frames respliced at %.1f MB/s (%s), failover read overhead %.2fx]\n",
 			integ.RepairFrames, integ.RepairMBps, match, integ.FailoverOverhead)
+		rmatch := "MISMATCH"
+		if rem.RemoteLocalMatch {
+			rmatch = "byte-identical"
+		}
+		fmt.Printf("[remote: %d KiB segments, level fetch %.1f%%, ROI fetch %.1f%% of archive, extract cold %.1f -> warm %.1f MB/s, hit ratio %.2f (%s)]\n",
+			rem.SegmentBytes>>10, 100*rem.LevelFetchFraction, 100*rem.RegionFetchFraction,
+			rem.ColdExtractMBps, rem.WarmExtractMBps, rem.HitRatio, rmatch)
 	}
 	fmt.Printf("\n[benchall completed in %v at scale 1/%d]\n", time.Since(start).Round(time.Second), *scale)
 }

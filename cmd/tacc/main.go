@@ -42,9 +42,35 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/metrics"
+	"repro/internal/remote"
 	"repro/internal/render"
 	"repro/internal/sz"
 )
+
+// openArchive opens a .taca archive named by a local path or an
+// http(s):// URL of any range-capable server (a tacd /a/{name}/raw
+// endpoint, nginx, an S3-style store). ls, extract and verify work
+// identically either way; over a URL only the footer and the frames a
+// command touches cross the wire.
+func openArchive(spec string) (*archive.Reader, io.Closer, error) {
+	if remote.IsURL(spec) {
+		rr, err := remote.Open(spec, remote.Config{})
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := archive.Open(rr, rr.Size())
+		if err != nil {
+			rr.Close()
+			return nil, nil, fmt.Errorf("%s: %w", spec, err)
+		}
+		return r, rr, nil
+	}
+	fr, err := archive.OpenFile(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fr.Reader, fr, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -289,8 +315,12 @@ func verify(args []string) {
 }
 
 // isArchive sniffs the TACA magic so verify dispatches on content, not
-// file naming.
+// file naming. URLs always dispatch as archives — that is the only mode
+// that can read one.
 func isArchive(path string) bool {
+	if remote.IsURL(path) {
+		return true
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return false
@@ -306,11 +336,11 @@ func isArchive(path string) bool {
 // verifyArchive scrubs every frame of every member and exits non-zero if
 // any damage is found, so cron jobs and CI can gate on the exit status.
 func verifyArchive(path string) {
-	r, err := archive.OpenFile(path)
+	r, closer, err := openArchive(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer r.Close()
+	defer closer.Close()
 	frames := 0
 	for _, m := range r.Members() {
 		for li := range m.Levels {
@@ -354,13 +384,30 @@ func repairCmd(args []string) {
 }
 
 // repairArchive is the shared splice step of `tacc repair` and
-// `tacc verify -repair`.
+// `tacc verify -repair`. The replica may be a URL: damaged frames are
+// then re-fetched over HTTP ranges, so a fleet node can heal from a
+// central healthy copy without mirroring it. The archive being repaired
+// must be a local file (the splice rewrites it in place).
 func repairArchive(path, replicaPath string) {
-	src, err := os.Open(replicaPath)
-	if err != nil {
-		log.Fatal(err)
+	if remote.IsURL(path) {
+		log.Fatalf("%s: cannot repair a remote archive in place (repair the file on its host)", path)
 	}
-	defer src.Close()
+	var src io.ReaderAt
+	if remote.IsURL(replicaPath) {
+		rr, err := remote.Open(replicaPath, remote.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rr.Close()
+		src = rr
+	} else {
+		f, err := os.Open(replicaPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
 	t0 := time.Now()
 	rs, err := archive.Repair(path, src)
 	if err != nil {
@@ -499,11 +546,11 @@ func lsCmd(args []string) {
 	if len(rest) != 1 {
 		usage()
 	}
-	r, err := archive.OpenFile(rest[0])
+	r, closer, err := openArchive(rest[0])
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer r.Close()
+	defer closer.Close()
 	health := ""
 	if *scrub {
 		health = "  health"
@@ -546,12 +593,12 @@ func extractCmd(args []string) {
 	if len(rest) != 2 {
 		usage()
 	}
-	r, err := archive.OpenFile(rest[0])
+	r, closer, err := openArchive(rest[0])
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer r.Close()
-	mi := resolveMember(r.Reader, *member)
+	defer closer.Close()
+	mi := resolveMember(r, *member)
 	var ds *amr.Dataset
 	switch {
 	case *roi != "" && *level >= 0:

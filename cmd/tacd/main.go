@@ -11,16 +11,23 @@
 //	     [-read-header-timeout 10s] [-read-timeout 5m] [-idle-timeout 2m]
 //	     [-request-timeout 0] [-scrub-interval 0]
 //	     [-replica name=replica.taca ...] [-quarantine-after 0]
+//	     [-remote-timeout 30s] [-remote-segment-kb 0] [-remote-cache-mb 32]
 //	     archive.taca [name=other.taca ...]
 //
 // Each positional argument registers one archive, served under its base
-// name with the extension stripped (or an explicit name=path). -replica
-// attaches a healthy copy of an archive's file to its serving name
-// (repeatable; a bare path binds to the sole archive): reads fail over
+// name with the extension stripped (or an explicit name=spec). A spec
+// is a local .taca path or an http(s):// URL of a range-capable server
+// — another tacd's /v1/a/{name}/raw endpoint, nginx, an S3-style store
+// — so an edge tacd can mount archives straight off remote storage,
+// fetching only the frames a request touches (internal/remote; the
+// -remote-* flags tune its read-ahead cache). -replica attaches a
+// healthy copy of an archive (path or URL) to its serving name
+// (repeatable; a bare spec binds to the sole archive): reads fail over
 // to replicas per read when the primary errors, and a quarantined
 // member is automatically re-fetched, digest-verified, and spliced back
-// into the primary — the 502 lifts without a restart. Endpoints (see
-// internal/server for the full table):
+// into a file-backed primary — the 502 lifts without a restart.
+// Endpoints, also served under /v1/ (see internal/server for the full
+// table):
 //
 //	GET  /archives
 //	GET  /a/{name}
@@ -47,25 +54,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/remote"
 	"repro/internal/server"
 )
-
-// specName is the serving name an archive spec registers under: the
-// explicit name of name=path, else the base name minus extension —
-// mirroring the server's own resolution so -replica can bind by name
-// before anything is opened.
-func specName(spec string) string {
-	if name, _, ok := strings.Cut(spec, "="); ok {
-		return name
-	}
-	return strings.TrimSuffix(filepath.Base(spec), filepath.Ext(spec))
-}
 
 func main() {
 	log.SetFlags(0)
@@ -85,13 +81,16 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request extraction deadline; overruns answer 504 (0 = unbounded)")
 	scrubInterval := flag.Duration("scrub-interval", 0, "background scrub period: verify every frame and quarantine damaged members (0 = off)")
 	quarantineAfter := flag.Int("quarantine-after", 0, "corruption strikes before a member is quarantined (0 = default, negative = never)")
+	remoteTimeout := flag.Duration("remote-timeout", remote.DefaultTimeout, "per-range-request deadline for URL-backed archives")
+	remoteSegKB := flag.Int("remote-segment-kb", 0, "read-ahead segment size for URL-backed archives, KiB (0 = auto-tune to the archive's frame size)")
+	remoteCacheMB := flag.Int64("remote-cache-mb", remote.DefaultCacheBytes>>20, "per-archive read-ahead cache budget for URL-backed archives, MiB (negative = off)")
 	var replicaSpecs []string
-	flag.Func("replica", "replica file for an archive, as name=path (repeatable; bare path binds to the sole archive)", func(v string) error {
+	flag.Func("replica", "replica for an archive, as name=spec where spec is a path or URL (repeatable; bare spec binds to the sole archive)", func(v string) error {
 		replicaSpecs = append(replicaSpecs, v)
 		return nil
 	})
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: tacd [-listen :8080] [-cache-mb 256] [-shards 16] [-workers 0] [-ingest] [-replica name=replica.taca] archive.taca [name=other.taca ...]")
+		fmt.Fprintln(os.Stderr, "usage: tacd [-listen :8080] [-cache-mb 256] [-shards 16] [-workers 0] [-ingest] [-replica name=replica.taca] archive.taca|http://host/v1/a/name/raw [name=other.taca ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -108,11 +107,13 @@ func main() {
 	replicas := make(map[string][]string)
 	for _, rs := range replicaSpecs {
 		name, path, ok := strings.Cut(rs, "=")
-		if !ok {
+		if !ok || strings.ContainsAny(name, "/:") {
+			// No name part (or the "name" is really a path/URL prefix):
+			// a bare spec binds to the sole served archive.
 			if flag.NArg() != 1 {
-				log.Fatalf("-replica %q: name=path form is required when serving more than one archive", rs)
+				log.Fatalf("-replica %q: name=spec form is required when serving more than one archive", rs)
 			}
-			name, path = specName(flag.Arg(0)), rs
+			name, path = server.SpecName(flag.Arg(0)), rs
 		}
 		replicas[name] = append(replicas[name], path)
 	}
@@ -132,20 +133,29 @@ func main() {
 		ScrubInterval:   *scrubInterval,
 		QuarantineAfter: *quarantineAfter,
 	})
-	for _, spec := range flag.Args() {
-		var name string
-		var err error
-		reps := replicas[specName(spec)]
-		delete(replicas, specName(spec))
-		switch {
-		case *ingest:
-			name, err = s.AddAppendFile(spec, codec.Config{ErrorBound: *eb, Workers: -1})
-		case len(reps) > 0:
-			name, err = s.AddFileReplicas(spec, reps)
-		default:
-			name, err = s.AddFile(spec)
+	rcfg := remote.Config{
+		Timeout:      *remoteTimeout,
+		SegmentBytes: *remoteSegKB << 10,
+		CacheBytes:   *remoteCacheMB << 20,
+	}
+	if *remoteCacheMB < 0 {
+		rcfg.CacheBytes = -1
+	}
+	for _, arg := range flag.Args() {
+		name := server.SpecName(arg)
+		_, primary := server.SplitSpec(arg)
+		reps := replicas[name]
+		delete(replicas, name)
+		spec := server.ArchiveSpec{
+			Primary:  primary,
+			Replicas: reps,
+			Remote:   rcfg,
 		}
-		if err != nil {
+		if *ingest {
+			spec.Append = true
+			spec.Ingest = codec.Config{ErrorBound: *eb, Workers: -1}
+		}
+		if _, err := s.Add(name, spec); err != nil {
 			log.Fatal(err)
 		}
 		mode := "ro"
@@ -155,7 +165,10 @@ func main() {
 		case len(reps) > 0:
 			mode = fmt.Sprintf("ro, %d replicas", len(reps))
 		}
-		log.Printf("serving %s as /a/%s (%s)", spec, name, mode)
+		if remote.IsURL(primary) {
+			mode += ", remote"
+		}
+		log.Printf("serving %s as /a/%s (%s)", primary, name, mode)
 	}
 	for name := range replicas {
 		log.Fatalf("-replica %s=...: no archive is served under that name", name)

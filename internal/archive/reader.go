@@ -284,6 +284,37 @@ func (r *Reader) Generation() uint64 { return r.gen }
 // an uncommitted append.
 func (r *Reader) EndOffset() int64 { return r.size }
 
+// Section returns a reader over the committed bytes of the generation
+// this Reader parsed ([0, EndOffset())). The serving tier's raw-bytes
+// endpoint reads through it to re-export an archive over HTTP ranges:
+// a SectionReader is a ReadSeeker+ReaderAt, which is exactly what
+// http.ServeContent wants, and bounding it at EndOffset keeps the
+// wreckage of a torn tail — or a generation newer than this view —
+// from ever crossing the wire.
+func (r *Reader) Section() *io.SectionReader {
+	return io.NewSectionReader(r.r, 0, r.size)
+}
+
+// TypicalFrameBytes returns the mean stored frame length across the
+// archive's batch index, or 0 for an empty archive. Remote readers size
+// their read-ahead segments to a few of these so one range request
+// covers the neighbouring frames a level sweep touches next.
+func (r *Reader) TypicalFrameBytes() int64 {
+	var sum, n int64
+	for mi := range r.members {
+		for li := range r.members[mi].Levels {
+			for _, b := range r.members[mi].Levels[li].Batches {
+				sum += b.Length
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
 // Find returns the index of the member with the given name and field, or
 // -1. An empty field matches the first member with the name.
 func (r *Reader) Find(name, field string) int {

@@ -85,7 +85,7 @@ func IngestBench(env *Env) (IngestBenchResult, error) {
 	}
 
 	srv := server.New(server.Config{CacheBytes: 256 << 20})
-	if _, err := srv.AddAppendFile("live="+path, cfg); err != nil {
+	if _, err := srv.Add("live", server.ArchiveSpec{Primary: path, Append: true, Ingest: cfg}); err != nil {
 		return res, err
 	}
 	ts := httptest.NewServer(srv.Handler())

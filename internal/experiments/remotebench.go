@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/codec"
+	"repro/internal/grid"
+	"repro/internal/remote"
+	"repro/internal/sim"
+)
+
+// RemoteBenchResult is the machine-readable remote-serving record
+// cmd/benchall -json emits: how much of an archive actually crosses the
+// wire when it is mounted over HTTP ranges instead of a local file, and
+// what the read-ahead segment cache buys on a repeated read. The
+// level/region fetch fractions are the remote analogue of the
+// archive bench's bytes-read fractions — the random-access claim must
+// survive the network hop, not just the local pread path.
+type RemoteBenchResult struct {
+	Members      int   `json:"members"`
+	ArchiveBytes int64 `json:"archive_bytes"`
+	SegmentBytes int64 `json:"segment_bytes"`
+
+	// Bytes pulled over HTTP for one level / one ROI read, as fractions
+	// of the whole archive (footer fetch included — a cold mount pays it).
+	LevelBytesFetched   int64   `json:"level_bytes_fetched"`
+	LevelFetchFraction  float64 `json:"level_fetch_fraction"`
+	RegionBytesFetched  int64   `json:"region_bytes_fetched"`
+	RegionFetchFraction float64 `json:"region_fetch_fraction"`
+
+	ColdExtractSeconds float64 `json:"cold_extract_seconds"`
+	ColdExtractMBps    float64 `json:"cold_extract_mb_per_s"`
+	WarmExtractSeconds float64 `json:"warm_extract_seconds"`
+	WarmExtractMBps    float64 `json:"warm_extract_mb_per_s"`
+
+	Requests     int64   `json:"requests"`
+	BytesFetched int64   `json:"bytes_fetched"`
+	Hits         int64   `json:"cache_hits"`
+	Misses       int64   `json:"cache_misses"`
+	Fills        int64   `json:"cache_fills"`
+	HitRatio     float64 `json:"cache_hit_ratio"`
+
+	// RemoteLocalMatch reports that a full member extracted over HTTP is
+	// byte-identical to the same member extracted from the local bytes.
+	RemoteLocalMatch bool `json:"remote_local_match"`
+}
+
+// RemoteBench writes two snapshots into an in-memory archive, serves the
+// blob from an httptest range server, and mounts it through
+// remote.Reader three separate times — one cold mount per measurement,
+// so the level read, the ROI read, and the cold extract each start with
+// an empty segment cache and their fetch counts don't subsidize each
+// other.
+func RemoteBench(env *Env) (RemoteBenchResult, error) {
+	var res RemoteBenchResult
+	names := []string{"Run1_Z10", "Run1_Z5"}
+	cfg := codec.Config{ErrorBound: 1e9, Workers: -1}
+
+	var buf bytes.Buffer
+	w, err := archive.NewWriter(&buf)
+	if err != nil {
+		return res, err
+	}
+	for _, name := range names {
+		ds, err := env.Dataset(name, sim.BaryonDensity)
+		if err != nil {
+			return res, err
+		}
+		if err := w.AddDataset(ds, cfg); err != nil {
+			return res, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return res, err
+	}
+	blob := buf.Bytes()
+	res.Members = len(names)
+	res.ArchiveBytes = int64(len(blob))
+
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("ETag", `"bench-blob"`)
+		http.ServeContent(w, r, "bench.taca", time.Time{}, bytes.NewReader(blob))
+	}))
+	defer ts.Close()
+
+	// mount is one cold open: probe, footer parse, and the same
+	// frame-size segment auto-tune the server applies to URL primaries.
+	mount := func() (*archive.Reader, *remote.Reader, error) {
+		rr, err := remote.Open(ts.URL, remote.Config{})
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := archive.Open(rr, rr.Size())
+		if err != nil {
+			rr.Close()
+			return nil, nil, err
+		}
+		if fb := r.TypicalFrameBytes(); fb > 0 {
+			seg := int64(1)
+			for seg < fb {
+				seg <<= 1
+			}
+			rr.Retune(seg)
+		}
+		return r, rr, nil
+	}
+
+	// One mid-resolution level of the second member: the "give me level l
+	// of snapshot i" analysis query.
+	r, rr, err := mount()
+	if err != nil {
+		return res, err
+	}
+	res.SegmentBytes = rr.SegmentBytes()
+	before := rr.Stats().BytesFetched
+	if _, err := r.ExtractLevel(1, 1); err != nil {
+		rr.Close()
+		return res, err
+	}
+	res.LevelBytesFetched = rr.Stats().BytesFetched - before
+	res.LevelFetchFraction = float64(res.LevelBytesFetched) / float64(res.ArchiveBytes)
+	rr.Close()
+
+	// An octant ROI of the first member's finest level.
+	r, rr, err = mount()
+	if err != nil {
+		return res, err
+	}
+	fd := r.Members()[0].Levels[0].Dims
+	roi := grid.Region{X1: fd.X / 2, Y1: fd.Y / 2, Z1: fd.Z / 2}
+	before = rr.Stats().BytesFetched
+	if _, err := r.ExtractRegion(0, roi); err != nil {
+		rr.Close()
+		return res, err
+	}
+	res.RegionBytesFetched = rr.Stats().BytesFetched - before
+	res.RegionFetchFraction = float64(res.RegionBytesFetched) / float64(res.ArchiveBytes)
+	rr.Close()
+
+	// Cold-vs-warm full-member extract on one mount: the first pass pulls
+	// every frame over the wire, the second must be served from the
+	// segment cache (hits > 0, and fills never exceed misses).
+	r, rr, err = mount()
+	if err != nil {
+		return res, err
+	}
+	defer rr.Close()
+	start := time.Now()
+	remoteDS, err := r.Extract(0)
+	if err != nil {
+		return res, err
+	}
+	res.ColdExtractSeconds = time.Since(start).Seconds()
+	res.ColdExtractMBps = float64(remoteDS.OriginalBytes()) / 1e6 / res.ColdExtractSeconds
+	start = time.Now()
+	if _, err := r.Extract(0); err != nil {
+		return res, err
+	}
+	res.WarmExtractSeconds = time.Since(start).Seconds()
+	res.WarmExtractMBps = float64(remoteDS.OriginalBytes()) / 1e6 / res.WarmExtractSeconds
+
+	st := rr.Stats()
+	res.Requests = st.Requests
+	res.BytesFetched = st.BytesFetched
+	res.Hits = st.Hits
+	res.Misses = st.Misses
+	res.Fills = st.Fills
+	res.HitRatio = st.HitRatio()
+
+	lr, err := archive.Open(bytes.NewReader(blob), res.ArchiveBytes)
+	if err != nil {
+		return res, err
+	}
+	localDS, err := lr.Extract(0)
+	if err != nil {
+		return res, err
+	}
+	var remoteBytes, localBytes bytes.Buffer
+	if err := remoteDS.Write(&remoteBytes); err != nil {
+		return res, err
+	}
+	if err := localDS.Write(&localBytes); err != nil {
+		return res, err
+	}
+	res.RemoteLocalMatch = bytes.Equal(remoteBytes.Bytes(), localBytes.Bytes())
+	if !res.RemoteLocalMatch {
+		return res, fmt.Errorf("remote bench: remote extract differs from local extract")
+	}
+	return res, nil
+}

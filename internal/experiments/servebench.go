@@ -70,7 +70,7 @@ func ServeBench(env *Env) (ServeBenchResult, error) {
 		return res, err
 	}
 	srv := server.New(server.Config{CacheBytes: 256 << 20})
-	if err := srv.Add("bench", r, nil); err != nil {
+	if err := srv.AddReader("bench", r, nil); err != nil {
 		return res, err
 	}
 	ts := httptest.NewServer(srv.Handler())

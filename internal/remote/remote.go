@@ -1,0 +1,477 @@
+// Package remote provides an io.ReaderAt backed by HTTP Range requests,
+// so a TACA archive hosted on any range-capable server — another tacd's
+// /a/{name}/raw endpoint, nginx, an S3-style blob store — can be opened,
+// served, and repaired from without a local copy.
+//
+// The reader is built for the archive's access pattern: level and ROI
+// extraction touch only a few percent of archive bytes (BENCH_engine.json
+// records 2.7–3.1%), in frame-sized spans clustered by batch index. Reads
+// therefore go through a byte-budgeted read-ahead cache of aligned
+// segments; concurrent batch decodes that miss on the same segment are
+// collapsed into one fetch by a singleflight gate, so a fleet of workers
+// pulls each segment over the wire at most once.
+//
+// Generation pinning: Open records the resource's ETag, every request
+// carries If-Range (strong validators only), and every response's ETag is
+// compared against the pinned one. A mid-read append or rewrite upstream
+// therefore fails the read with ErrChanged instead of splicing bytes from
+// two generations together. The archive layer wraps any ReadAt failure on
+// a frame as ErrCorrupt+ErrIO, so the serving tier's retry/backoff and
+// failover machinery applies to network faults unchanged.
+package remote
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrChanged reports that the remote resource's validator (ETag) no
+// longer matches the one pinned at Open: the archive was appended to or
+// replaced upstream. Callers should reopen to pick up the new generation.
+var ErrChanged = errors.New("remote: resource changed upstream")
+
+const (
+	// DefaultSegmentBytes covers a handful of typical batch frames, so one
+	// fill read-aheads the neighbours a level sweep touches next.
+	DefaultSegmentBytes = 128 << 10
+	// DefaultCacheBytes bounds resident segments per reader.
+	DefaultCacheBytes = 32 << 20
+	// DefaultTimeout bounds each individual range request.
+	DefaultTimeout = 30 * time.Second
+
+	minSegmentBytes = 4 << 10
+	maxSegmentBytes = 4 << 20
+)
+
+// Config tunes a Reader. The zero value is usable.
+type Config struct {
+	// Client issues the requests. nil builds a pooled transport owned by
+	// the Reader (closed by Close).
+	Client *http.Client
+	// Timeout bounds each range request, connect to last body byte.
+	// 0 means DefaultTimeout; negative means no limit.
+	Timeout time.Duration
+	// SegmentBytes is the aligned fetch/cache unit. 0 means
+	// DefaultSegmentBytes; values are clamped to [4 KiB, 4 MiB].
+	SegmentBytes int
+	// CacheBytes budgets resident segments. 0 means DefaultCacheBytes;
+	// negative disables caching (every read fetches).
+	CacheBytes int64
+}
+
+// Stats is a point-in-time counter snapshot of a Reader.
+type Stats struct {
+	Requests     int64 `json:"requests"`      // HTTP requests issued (incl. the Open probe)
+	BytesFetched int64 `json:"bytes_fetched"` // payload bytes pulled over the wire
+	BytesRead    int64 `json:"bytes_read"`    // logical bytes served to callers
+	Hits         int64 `json:"hits"`          // segment lookups served from cache
+	Misses       int64 `json:"misses"`        // segment lookups that had to wait for a fill
+	Fills        int64 `json:"fills"`         // actual segment fills (≤ Misses: singleflight)
+}
+
+// HitRatio is the fraction of segment lookups served from cache.
+func (s Stats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Reader is an io.ReaderAt over one HTTP resource. It is safe for
+// concurrent use; the archive decode fan-out reads through one Reader.
+type Reader struct {
+	url      string
+	client   *http.Client
+	ownsConn bool
+	timeout  time.Duration
+	size     int64
+	etag     string // pinned validator, "" if the server sent none
+	strong   bool   // etag is strong: eligible for If-Range
+
+	budget   int64
+	segBytes int64
+
+	mu       sync.Mutex
+	segs     map[int64]*list.Element // segment start -> lru element
+	lru      list.List               // of *segment, front = most recent
+	resident int64                   // cached bytes
+	inflight map[int64]*fill
+
+	requests, fetched, read atomic.Int64
+	hits, misses, fills     atomic.Int64
+}
+
+type segment struct {
+	start int64
+	data  []byte
+}
+
+type fill struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// Open probes url with a 1-byte range request to learn the resource
+// size and pin its ETag, and returns a Reader over it. The server must
+// either honor Range (206) or expose Content-Length on a 200.
+func Open(url string, cfg Config) (*Reader, error) {
+	r := &Reader{
+		url:      url,
+		client:   cfg.Client,
+		timeout:  cfg.Timeout,
+		budget:   cfg.CacheBytes,
+		segBytes: int64(cfg.SegmentBytes),
+		segs:     make(map[int64]*list.Element),
+		inflight: make(map[int64]*fill),
+	}
+	if r.timeout == 0 {
+		r.timeout = DefaultTimeout
+	}
+	if r.budget == 0 {
+		r.budget = DefaultCacheBytes
+	}
+	if r.segBytes == 0 {
+		r.segBytes = DefaultSegmentBytes
+	}
+	r.segBytes = min(max(r.segBytes, minSegmentBytes), maxSegmentBytes)
+	if r.client == nil {
+		r.ownsConn = true
+		r.client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        32,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	if err := r.probe(); err != nil {
+		r.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// probe learns size and pins the validator.
+func (r *Reader) probe() error {
+	ctx, cancel := r.reqContext()
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url, nil)
+	if err != nil {
+		return fmt.Errorf("remote: %s: %w", r.url, err)
+	}
+	req.Header.Set("Range", "bytes=0-0")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("remote: probing %s: %w", r.url, err)
+	}
+	defer drain(resp)
+	r.requests.Add(1)
+	r.etag = resp.Header.Get("ETag")
+	r.strong = r.etag != "" && !strings.HasPrefix(r.etag, "W/")
+	switch resp.StatusCode {
+	case http.StatusPartialContent:
+		_, _, total, err := parseContentRange(resp.Header.Get("Content-Range"))
+		if err != nil {
+			return fmt.Errorf("remote: probing %s: %w", r.url, err)
+		}
+		if total < 0 {
+			return fmt.Errorf("remote: probing %s: server did not report a total size", r.url)
+		}
+		r.size = total
+	case http.StatusOK:
+		// Range not honored: the reader still works via the 200 fallback
+		// in fetch, just without partial transfers.
+		if resp.ContentLength < 0 {
+			return fmt.Errorf("remote: probing %s: no Content-Length on 200 response", r.url)
+		}
+		r.size = resp.ContentLength
+	default:
+		return fmt.Errorf("remote: probing %s: http %d", r.url, resp.StatusCode)
+	}
+	if r.size <= 0 {
+		return fmt.Errorf("remote: %s: empty resource", r.url)
+	}
+	return nil
+}
+
+// Size is the pinned resource length in bytes.
+func (r *Reader) Size() int64 { return r.size }
+
+// ETag is the validator pinned at Open ("" if the server sent none).
+func (r *Reader) ETag() string { return r.etag }
+
+// Label identifies this source in failover logs (replica.Source).
+func (r *Reader) Label() string { return r.url }
+
+// Stats snapshots the reader's counters.
+func (r *Reader) Stats() Stats {
+	return Stats{
+		Requests:     r.requests.Load(),
+		BytesFetched: r.fetched.Load(),
+		BytesRead:    r.read.Load(),
+		Hits:         r.hits.Load(),
+		Misses:       r.misses.Load(),
+		Fills:        r.fills.Load(),
+	}
+}
+
+// Close drops the cache and, when the Reader owns its client, the
+// pooled connections. The Reader must not be used afterwards.
+func (r *Reader) Close() error {
+	r.mu.Lock()
+	r.segs = make(map[int64]*list.Element)
+	r.lru.Init()
+	r.resident = 0
+	r.mu.Unlock()
+	if r.ownsConn {
+		r.client.CloseIdleConnections()
+	}
+	return nil
+}
+
+// Retune resizes the segment unit (clamped to [4 KiB, 4 MiB]) and drops
+// the cache so existing alignment cannot mix. The serving tier calls
+// this after parsing the footer, sizing segments to the archive's
+// typical frame span.
+func (r *Reader) Retune(segmentBytes int64) {
+	segmentBytes = min(max(segmentBytes, minSegmentBytes), maxSegmentBytes)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if segmentBytes == r.segBytes {
+		return
+	}
+	r.segBytes = segmentBytes
+	r.segs = make(map[int64]*list.Element)
+	r.lru.Init()
+	r.resident = 0
+}
+
+// SegmentBytes is the current aligned fetch unit.
+func (r *Reader) SegmentBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.segBytes
+}
+
+// ReadAt implements io.ReaderAt. Reads past the pinned size return
+// io.EOF; every fetched byte is validated against the pinned ETag, so a
+// changed resource yields ErrChanged, never torn bytes.
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("remote: %s: negative offset %d", r.url, off)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if off >= r.size {
+		return 0, io.EOF
+	}
+	want := len(p)
+	if off+int64(want) > r.size {
+		want = int(r.size - off)
+	}
+	n := 0
+	for n < want {
+		r.mu.Lock()
+		seg := r.segBytes
+		r.mu.Unlock()
+		start := (off + int64(n)) / seg * seg
+		data, err := r.segment(start, seg)
+		if err != nil {
+			return n, err
+		}
+		n += copy(p[n:want], data[off+int64(n)-start:])
+	}
+	r.read.Add(int64(n))
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// segment returns the bytes of the aligned segment at start, from cache
+// or by fetching. Concurrent misses on one segment share a single fetch;
+// errors are returned to every waiter but never cached.
+func (r *Reader) segment(start, seg int64) ([]byte, error) {
+	r.mu.Lock()
+	if e, ok := r.segs[start]; ok {
+		r.lru.MoveToFront(e)
+		data := e.Value.(*segment).data
+		r.mu.Unlock()
+		r.hits.Add(1)
+		return data, nil
+	}
+	r.misses.Add(1)
+	if f, ok := r.inflight[start]; ok {
+		r.mu.Unlock()
+		<-f.done
+		return f.data, f.err
+	}
+	f := &fill{done: make(chan struct{})}
+	r.inflight[start] = f
+	r.mu.Unlock()
+
+	r.fills.Add(1)
+	end := min(start+seg, r.size)
+	data, err := r.fetch(start, end)
+	f.data, f.err = data, err
+
+	r.mu.Lock()
+	delete(r.inflight, start)
+	if err == nil && r.budget > 0 {
+		r.insert(start, data)
+	}
+	r.mu.Unlock()
+	close(f.done)
+	return data, err
+}
+
+// insert caches one segment, evicting least-recently-used segments past
+// the byte budget. Caller holds r.mu.
+func (r *Reader) insert(start int64, data []byte) {
+	if _, ok := r.segs[start]; ok {
+		return
+	}
+	r.segs[start] = r.lru.PushFront(&segment{start: start, data: data})
+	r.resident += int64(len(data))
+	for r.resident > r.budget && r.lru.Len() > 1 {
+		e := r.lru.Back()
+		sg := e.Value.(*segment)
+		r.lru.Remove(e)
+		delete(r.segs, sg.start)
+		r.resident -= int64(len(sg.data))
+	}
+}
+
+// fetch pulls [start, end) in one range request and validates the
+// response shape: a 206 must match the requested span exactly (short or
+// over-long bodies are errors, not truncations), a 200 is accepted only
+// as the full resource with the prefix discarded, anything else fails.
+func (r *Reader) fetch(start, end int64) ([]byte, error) {
+	want := end - start
+	ctx, cancel := r.reqContext()
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("remote: %s: %w", r.url, err)
+	}
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", start, end-1))
+	if r.strong {
+		// A strong validator turns a stale range into a 200 + current
+		// body instead of torn bytes; the ETag check below still guards
+		// servers that ignore If-Range.
+		req.Header.Set("If-Range", r.etag)
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("remote: %s: bytes [%d,%d): %w", r.url, start, end, err)
+	}
+	defer drain(resp)
+	r.requests.Add(1)
+	if et := resp.Header.Get("ETag"); et != "" && r.etag != "" && et != r.etag {
+		return nil, fmt.Errorf("remote: %s: etag %s -> %s: %w", r.url, r.etag, et, ErrChanged)
+	}
+	switch resp.StatusCode {
+	case http.StatusPartialContent:
+		first, last, total, err := parseContentRange(resp.Header.Get("Content-Range"))
+		if err != nil {
+			return nil, fmt.Errorf("remote: %s: %w", r.url, err)
+		}
+		if total >= 0 && total != r.size {
+			return nil, fmt.Errorf("remote: %s: size %d -> %d: %w", r.url, r.size, total, ErrChanged)
+		}
+		if first != start || last != end-1 {
+			return nil, fmt.Errorf("remote: %s: asked bytes [%d,%d), got [%d,%d]", r.url, start, end, first, last)
+		}
+		buf := make([]byte, want)
+		if _, err := io.ReadFull(resp.Body, buf); err != nil {
+			return nil, fmt.Errorf("remote: %s: short body for bytes [%d,%d): %w", r.url, start, end, err)
+		}
+		var extra [1]byte
+		if m, _ := resp.Body.Read(extra[:]); m > 0 {
+			return nil, fmt.Errorf("remote: %s: over-long body for bytes [%d,%d)", r.url, start, end)
+		}
+		r.fetched.Add(want)
+		return buf, nil
+	case http.StatusOK:
+		// Range ignored (or If-Range did not match but the validator is
+		// unchanged/absent — the ETag comparison above already rejected a
+		// changed one): the body is the whole resource.
+		if resp.ContentLength >= 0 && resp.ContentLength != r.size {
+			return nil, fmt.Errorf("remote: %s: size %d -> %d: %w", r.url, r.size, resp.ContentLength, ErrChanged)
+		}
+		if _, err := io.CopyN(io.Discard, resp.Body, start); err != nil {
+			return nil, fmt.Errorf("remote: %s: skipping to %d in full body: %w", r.url, start, err)
+		}
+		buf := make([]byte, want)
+		if _, err := io.ReadFull(resp.Body, buf); err != nil {
+			return nil, fmt.Errorf("remote: %s: short body at %d in full response: %w", r.url, start, err)
+		}
+		r.fetched.Add(start + want)
+		return buf, nil
+	case http.StatusRequestedRangeNotSatisfiable:
+		return nil, fmt.Errorf("remote: %s: bytes [%d,%d) not satisfiable (http 416): %w", r.url, start, end, ErrChanged)
+	default:
+		return nil, fmt.Errorf("remote: %s: http %d fetching bytes [%d,%d)", r.url, resp.StatusCode, start, end)
+	}
+}
+
+func (r *Reader) reqContext() (context.Context, context.CancelFunc) {
+	if r.timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), r.timeout)
+}
+
+// drain consumes a bounded remainder of the body so the connection can
+// be reused, then closes it.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 256<<10)) //nolint:errcheck
+	resp.Body.Close()
+}
+
+// parseContentRange parses "bytes first-last/total" ("/*" yields
+// total = -1).
+func parseContentRange(h string) (first, last, total int64, err error) {
+	rest, ok := strings.CutPrefix(h, "bytes ")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("bad Content-Range %q", h)
+	}
+	span, tot, ok := strings.Cut(rest, "/")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("bad Content-Range %q", h)
+	}
+	lo, hi, ok := strings.Cut(span, "-")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("bad Content-Range %q", h)
+	}
+	if first, err = strconv.ParseInt(lo, 10, 64); err != nil {
+		return 0, 0, 0, fmt.Errorf("bad Content-Range %q", h)
+	}
+	if last, err = strconv.ParseInt(hi, 10, 64); err != nil {
+		return 0, 0, 0, fmt.Errorf("bad Content-Range %q", h)
+	}
+	if tot == "*" {
+		total = -1
+	} else if total, err = strconv.ParseInt(tot, 10, 64); err != nil {
+		return 0, 0, 0, fmt.Errorf("bad Content-Range %q", h)
+	}
+	if first < 0 || last < first || (total >= 0 && last >= total) {
+		return 0, 0, 0, fmt.Errorf("bad Content-Range %q", h)
+	}
+	return first, last, total, nil
+}
+
+// IsURL reports whether spec names a remote resource this package can
+// open, as opposed to a local file path.
+func IsURL(spec string) bool {
+	return strings.HasPrefix(spec, "http://") || strings.HasPrefix(spec, "https://")
+}

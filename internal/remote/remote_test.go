@@ -1,0 +1,477 @@
+package remote
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// rangeServer serves blob with net/http's standard Range handling and a
+// strong ETag, like a well-behaved origin.
+func rangeServer(t *testing.T, blob []byte, etag string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if etag != "" {
+			w.Header().Set("ETag", etag)
+		}
+		http.ServeContent(w, req, "blob.bin", time.Time{}, bytes.NewReader(blob))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func testBlob(n int) []byte {
+	blob := make([]byte, n)
+	rng := rand.New(rand.NewSource(42))
+	rng.Read(blob)
+	return blob
+}
+
+func TestOpenAndReadAt(t *testing.T) {
+	blob := testBlob(300_000)
+	ts := rangeServer(t, blob, `"v1"`)
+	r, err := Open(ts.URL, Config{SegmentBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Size() != int64(len(blob)) {
+		t.Fatalf("Size = %d, want %d", r.Size(), len(blob))
+	}
+	if r.ETag() != `"v1"` {
+		t.Fatalf("ETag = %q, want %q", r.ETag(), `"v1"`)
+	}
+	if r.Label() != ts.URL {
+		t.Fatalf("Label = %q", r.Label())
+	}
+	// Reads of every flavour: inside one segment, spanning segments,
+	// at EOF, past EOF.
+	cases := []struct{ off, n int }{
+		{0, 100}, {777, 3000}, {16<<10 - 5, 10}, {100_000, 90_000},
+		{len(blob) - 10, 10},
+	}
+	for _, c := range cases {
+		got := make([]byte, c.n)
+		n, err := r.ReadAt(got, int64(c.off))
+		if err != nil || n != c.n {
+			t.Fatalf("ReadAt(%d, %d) = %d, %v", c.off, c.n, n, err)
+		}
+		if !bytes.Equal(got, blob[c.off:c.off+c.n]) {
+			t.Fatalf("ReadAt(%d, %d): bytes differ", c.off, c.n)
+		}
+	}
+	// Truncated tail read: n < len(p) with io.EOF.
+	got := make([]byte, 100)
+	n, err := r.ReadAt(got, int64(len(blob)-40))
+	if n != 40 || err != io.EOF {
+		t.Fatalf("tail ReadAt = %d, %v; want 40, io.EOF", n, err)
+	}
+	if !bytes.Equal(got[:40], blob[len(blob)-40:]) {
+		t.Fatal("tail bytes differ")
+	}
+	if _, err := r.ReadAt(got, int64(len(blob))); err != io.EOF {
+		t.Fatalf("past-EOF ReadAt err = %v, want io.EOF", err)
+	}
+	st := r.Stats()
+	if st.Fills > st.Misses {
+		t.Fatalf("fills %d > misses %d", st.Fills, st.Misses)
+	}
+	if st.Requests == 0 || st.BytesFetched == 0 {
+		t.Fatalf("stats not counting: %+v", st)
+	}
+}
+
+func TestCacheHitsAndEviction(t *testing.T) {
+	blob := testBlob(64 << 10)
+	ts := rangeServer(t, blob, `"v1"`)
+	r, err := Open(ts.URL, Config{SegmentBytes: 8 << 10, CacheBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 8<<10)
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := r.Stats()
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	after := r.Stats()
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("second read hits = %d, want %d", after.Hits, before.Hits+1)
+	}
+	// Sweep the whole blob (4x the budget), then re-read the start: the
+	// budget must have evicted it (a miss), and resident bytes must have
+	// stayed within budget.
+	for off := int64(0); off < int64(len(blob)); off += 8 << 10 {
+		if _, err := r.ReadAt(buf, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.mu.Lock()
+	resident := r.resident
+	r.mu.Unlock()
+	if resident > 16<<10 {
+		t.Fatalf("resident %d bytes exceeds 16KiB budget", resident)
+	}
+	pre := r.Stats().Misses
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats().Misses != pre+1 {
+		t.Fatal("expected evicted segment to miss")
+	}
+}
+
+func TestSingleflightCollapsesFills(t *testing.T) {
+	blob := testBlob(32 << 10)
+	var reqs sync.Map
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		reqs.Store(req.Header.Get("Range"), true)
+		time.Sleep(20 * time.Millisecond) // widen the window for concurrent misses
+		w.Header().Set("ETag", `"v1"`)
+		http.ServeContent(w, req, "blob.bin", time.Time{}, bytes.NewReader(blob))
+	}))
+	defer ts.Close()
+	r, err := Open(ts.URL, Config{SegmentBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := make([]byte, 1024)
+			if _, err := r.ReadAt(buf, int64(i*512)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := r.Stats()
+	if st.Fills > st.Misses {
+		t.Fatalf("fills %d > misses %d", st.Fills, st.Misses)
+	}
+	if st.Fills != 1 {
+		t.Fatalf("16 concurrent reads of one segment did %d fills, want 1", st.Fills)
+	}
+}
+
+func TestShortRangeResponse(t *testing.T) {
+	blob := testBlob(64 << 10)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Header.Get("Range") == "bytes=0-0" {
+			http.ServeContent(w, req, "b", time.Time{}, bytes.NewReader(blob))
+			return
+		}
+		// Claim the full range but send half the bytes, then cut the
+		// connection: a body shorter than the Content-Range promise.
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes 0-%d/%d", 16<<10-1, len(blob)))
+		w.WriteHeader(http.StatusPartialContent)
+		w.Write(blob[:8<<10])
+		w.(http.Flusher).Flush()
+		conn, _, _ := w.(http.Hijacker).Hijack()
+		conn.Close()
+	}))
+	defer ts.Close()
+	r, err := Open(ts.URL, Config{SegmentBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 4<<10)
+	if _, err := r.ReadAt(buf, 0); err == nil {
+		t.Fatal("short range body did not error")
+	}
+}
+
+func TestWrongSpanRangeResponse(t *testing.T) {
+	blob := testBlob(64 << 10)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Header.Get("Range") == "bytes=0-0" {
+			http.ServeContent(w, req, "b", time.Time{}, bytes.NewReader(blob))
+			return
+		}
+		// Answer a different (over-long) span than asked.
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes 0-%d/%d", 32<<10-1, len(blob)))
+		w.WriteHeader(http.StatusPartialContent)
+		w.Write(blob[:32<<10])
+	}))
+	defer ts.Close()
+	r, err := Open(ts.URL, Config{SegmentBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 4<<10)
+	if _, err := r.ReadAt(buf, 0); err == nil || !strings.Contains(err.Error(), "asked bytes") {
+		t.Fatalf("wrong-span response: err = %v, want span mismatch", err)
+	}
+}
+
+func TestOverlongRangeBody(t *testing.T) {
+	blob := testBlob(64 << 10)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Header.Get("Range") == "bytes=0-0" {
+			http.ServeContent(w, req, "b", time.Time{}, bytes.NewReader(blob))
+			return
+		}
+		// Correct Content-Range, but more body bytes than it declares.
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes 0-%d/%d", 16<<10-1, len(blob)))
+		w.WriteHeader(http.StatusPartialContent)
+		w.Write(blob[:24<<10])
+	}))
+	defer ts.Close()
+	r, err := Open(ts.URL, Config{SegmentBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 4<<10)
+	if _, err := r.ReadAt(buf, 0); err == nil || !strings.Contains(err.Error(), "over-long") {
+		t.Fatalf("over-long body: err = %v, want over-long error", err)
+	}
+}
+
+func TestFullResponseFallback(t *testing.T) {
+	// A server that ignores Range entirely (200 + full body) must still
+	// produce correct bytes, just without partial transfers.
+	blob := testBlob(48 << 10)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("ETag", `"v1"`)
+		w.Header().Set("Content-Length", fmt.Sprint(len(blob)))
+		w.WriteHeader(http.StatusOK)
+		w.Write(blob)
+	}))
+	defer ts.Close()
+	r, err := Open(ts.URL, Config{SegmentBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Size() != int64(len(blob)) {
+		t.Fatalf("Size = %d, want %d", r.Size(), len(blob))
+	}
+	got := make([]byte, 1000)
+	if _, err := r.ReadAt(got, 40_000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob[40_000:41_000]) {
+		t.Fatal("bytes differ via 200 fallback")
+	}
+}
+
+func Test416(t *testing.T) {
+	blob := testBlob(16 << 10)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Header.Get("Range") == "bytes=0-0" {
+			http.ServeContent(w, req, "b", time.Time{}, bytes.NewReader(blob))
+			return
+		}
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", 4<<10))
+		w.WriteHeader(http.StatusRequestedRangeNotSatisfiable)
+	}))
+	defer ts.Close()
+	r, err := Open(ts.URL, Config{SegmentBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 1<<10)
+	if _, err := r.ReadAt(buf, 8<<10); !errors.Is(err, ErrChanged) {
+		t.Fatalf("416: err = %v, want ErrChanged", err)
+	}
+}
+
+func TestConnectionDropMidBody(t *testing.T) {
+	blob := testBlob(64 << 10)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Header.Get("Range") == "bytes=0-0" {
+			http.ServeContent(w, req, "b", time.Time{}, bytes.NewReader(blob))
+			return
+		}
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes 16384-%d/%d", 32<<10-1, len(blob)))
+		w.WriteHeader(http.StatusPartialContent)
+		w.Write(blob[16<<10 : 20<<10])
+		w.(http.Flusher).Flush()
+		conn, _, _ := w.(http.Hijacker).Hijack()
+		conn.Close() // drop mid-body
+	}))
+	defer ts.Close()
+	r, err := Open(ts.URL, Config{SegmentBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 1<<10)
+	if _, err := r.ReadAt(buf, 16<<10); err == nil {
+		t.Fatal("connection drop mid-body did not error")
+	}
+	// The error must not be cached: a healthy retry through the same
+	// reader is impossible here (server always drops), but the inflight
+	// map must be clean so the next attempt issues a fresh fetch.
+	pre := r.Stats().Fills
+	r.ReadAt(buf, 16<<10) //nolint:errcheck
+	if r.Stats().Fills != pre+1 {
+		t.Fatal("failed fill was cached; retry did not refetch")
+	}
+}
+
+func TestETagChangeBetweenRanges(t *testing.T) {
+	// Generation pinning: the resource is appended/replaced between two
+	// range requests. The second read must fail ErrChanged — never serve
+	// bytes from the new generation against the old footer.
+	blobV1 := testBlob(64 << 10)
+	blobV2 := append(append([]byte{}, blobV1...), testBlob(16<<10)...)
+	var mu sync.Mutex
+	blob, etag := blobV1, `"v1"`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		mu.Lock()
+		b, e := blob, etag
+		mu.Unlock()
+		w.Header().Set("ETag", e)
+		http.ServeContent(w, req, "b", time.Time{}, bytes.NewReader(b))
+	}))
+	defer ts.Close()
+	r, err := Open(ts.URL, Config{SegmentBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 1<<10)
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	blob, etag = blobV2, `"v2"`
+	mu.Unlock()
+	if _, err := r.ReadAt(buf, 32<<10); !errors.Is(err, ErrChanged) {
+		t.Fatalf("post-append read err = %v, want ErrChanged", err)
+	}
+	// Cached segments from the pinned generation stay readable — they
+	// were fetched before the change and are still the old bytes.
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatalf("cached segment after change: %v", err)
+	}
+	if !bytes.Equal(buf, blobV1[:1<<10]) {
+		t.Fatal("cached segment returned torn bytes")
+	}
+}
+
+func TestETagChangeVia200Fallback(t *testing.T) {
+	// A range-less server that swaps content must also be caught: the 200
+	// fallback path compares ETag and Content-Length.
+	var mu sync.Mutex
+	blob, etag := testBlob(32<<10), `"v1"`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		mu.Lock()
+		b, e := blob, etag
+		mu.Unlock()
+		w.Header().Set("ETag", e)
+		w.Header().Set("Content-Length", fmt.Sprint(len(b)))
+		w.WriteHeader(http.StatusOK)
+		w.Write(b)
+	}))
+	defer ts.Close()
+	r, err := Open(ts.URL, Config{SegmentBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	mu.Lock()
+	blob, etag = testBlob(32<<10), `"v2"`
+	mu.Unlock()
+	buf := make([]byte, 100)
+	if _, err := r.ReadAt(buf, 0); !errors.Is(err, ErrChanged) {
+		t.Fatalf("200-fallback after change: err = %v, want ErrChanged", err)
+	}
+}
+
+func TestRetune(t *testing.T) {
+	blob := testBlob(64 << 10)
+	ts := rangeServer(t, blob, `"v1"`)
+	r, err := Open(ts.URL, Config{SegmentBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 1<<10)
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.Retune(32 << 10)
+	if r.SegmentBytes() != 32<<10 {
+		t.Fatalf("SegmentBytes = %d after Retune", r.SegmentBytes())
+	}
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, blob[:1<<10]) {
+		t.Fatal("bytes differ after Retune")
+	}
+	// Clamping.
+	r.Retune(1)
+	if r.SegmentBytes() != minSegmentBytes {
+		t.Fatalf("Retune(1) -> %d, want %d", r.SegmentBytes(), minSegmentBytes)
+	}
+}
+
+func TestParseContentRange(t *testing.T) {
+	good := []struct {
+		h                  string
+		first, last, total int64
+	}{
+		{"bytes 0-0/100", 0, 0, 100},
+		{"bytes 5-9/100", 5, 9, 100},
+		{"bytes 5-9/*", 5, 9, -1},
+	}
+	for _, c := range good {
+		f, l, tot, err := parseContentRange(c.h)
+		if err != nil || f != c.first || l != c.last || tot != c.total {
+			t.Fatalf("parseContentRange(%q) = %d,%d,%d,%v", c.h, f, l, tot, err)
+		}
+	}
+	bad := []string{"", "bytes 5-9", "bytes x-9/100", "bytes 9-5/100", "bytes 5-100/100", "0-0/100"}
+	for _, h := range bad {
+		if _, _, _, err := parseContentRange(h); err == nil {
+			t.Fatalf("parseContentRange(%q) accepted", h)
+		}
+	}
+}
+
+func TestIsURL(t *testing.T) {
+	if !IsURL("http://x/a") || !IsURL("https://x/a") {
+		t.Fatal("http(s) URLs not recognized")
+	}
+	if IsURL("/tmp/a.taca") || IsURL("httpx.taca") {
+		t.Fatal("paths misclassified as URLs")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		http.NotFound(w, req)
+	}))
+	defer ts.Close()
+	if _, err := Open(ts.URL, Config{}); err == nil {
+		t.Fatal("Open of 404 resource succeeded")
+	}
+	empty := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		http.ServeContent(w, req, "b", time.Time{}, bytes.NewReader(nil))
+	}))
+	defer empty.Close()
+	if _, err := Open(empty.URL, Config{}); err == nil {
+		t.Fatal("Open of empty resource succeeded")
+	}
+}

@@ -189,7 +189,7 @@ func TestChaosBackgroundScrubber(t *testing.T) {
 	}
 	s := New(Config{Workers: 1, ScrubInterval: 2 * time.Millisecond})
 	defer s.Close()
-	if err := s.Add("test", r, nil); err != nil {
+	if err := s.AddReader("test", r, nil); err != nil {
 		t.Fatal(err)
 	}
 	fr.SetPlan(faultio.FlipByte(frameMidpoint(t, r, 1, 0, 0), 0x40))
@@ -224,7 +224,7 @@ func TestChaosLatencyDeadline(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := New(Config{Workers: 1, RequestTimeout: 20 * time.Millisecond})
-	if err := s.Add("test", r, nil); err != nil {
+	if err := s.AddReader("test", r, nil); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)

@@ -13,33 +13,52 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/amr"
 	"repro/internal/archive"
 	"repro/internal/grid"
 )
 
-// Handler returns the HTTP API:
+// Handler returns the HTTP API. Every route is mounted twice: under
+// /v1/ (the versioned surface) and at its legacy unprefixed path (kept
+// as an alias for one release):
 //
-//	GET  /healthz                                liveness probe ("ok", or 503 "draining")
-//	GET  /stats                                  cache + ingest + registry counters (JSON)
-//	GET  /archives                               registered archives (JSON)
-//	GET  /a/{name}                               member listing (JSON)
-//	GET  /a/{name}/snap/{i}                      one member's level geometry (JSON)
-//	GET  /a/{name}/snap/{i}/amr                  whole snapshot, .amr stream
-//	GET  /a/{name}/snap/{i}/level/{l}            dense level grid, raw float32 LE
-//	GET  /a/{name}/snap/{i}/level/{l}?roi=x0:x1,y0:y1,z0:z1
-//	                                             dense window of the level (level cells)
-//	POST /a/{name}/ingest                        append one .amr snapshot (writable archives)
+//	GET  /v1/healthz                                liveness probe ("ok", or 503 "draining")
+//	GET  /v1/stats                                  cache + ingest + registry counters (JSON)
+//	GET  /v1/archives                               registered archives (JSON)
+//	GET  /v1/a/{name}                               member listing (JSON)
+//	GET  /v1/a/{name}/raw                           committed archive bytes (Range/ETag/If-Range;
+//	                                                mount point for remote tacds)
+//	GET  /v1/a/{name}/snap/{i}                      one member's level geometry (JSON)
+//	GET  /v1/a/{name}/snap/{i}/amr                  whole snapshot, .amr stream
+//	GET  /v1/a/{name}/snap/{i}/level/{l}            dense level grid, raw float32 LE
+//	GET  /v1/a/{name}/snap/{i}/level/{l}?roi=x0:x1,y0:y1,z0:z1
+//	                                                dense window of the level (level cells)
+//	POST /v1/a/{name}/ingest                        append one .amr snapshot (writable archives)
+//	POST /v1/a/{name}/repair[?member=i]             re-fetch and splice damaged members
 //
 // Binary responses carry the payload geometry in X-Tac-* headers and are
 // gzip-compressed when the client advertises Accept-Encoding: gzip.
 // Ingest bodies are .amr streams (amr.Dataset.Write), optionally
 // gzip-compressed with Content-Encoding: gzip; a full ingest queue
 // answers 429 with a Retry-After hint.
+//
+// Non-2xx responses (except /healthz, which stays plain text for
+// probes) carry the JSON error envelope {code, message, member?,
+// quarantined?}: code is a stable slug (not_found, bad_request,
+// read_only, busy, draining, no_replica, timeout, quarantined, corrupt,
+// io, too_large, internal), member is the snapshot index the failure
+// concerns when known, and the legacy error/retryable fields mirror
+// message for pre-v1 clients.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, h)
+		method, path, _ := strings.Cut(pattern, " ")
+		mux.HandleFunc(method+" /v1"+path, h)
+	}
+	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if s.Draining() {
 			w.WriteHeader(http.StatusServiceUnavailable)
@@ -55,56 +74,136 @@ func (s *Server) Handler() http.Handler {
 		}
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /archives", s.handleArchives)
-	mux.HandleFunc("GET /a/{name}", s.handleArchive)
-	mux.HandleFunc("GET /a/{name}/snap/{snap}", s.handleSnap)
-	mux.HandleFunc("GET /a/{name}/snap/{snap}/amr", s.handleSnapAMR)
-	mux.HandleFunc("GET /a/{name}/snap/{snap}/level/{level}", s.handleLevel)
-	mux.HandleFunc("POST /a/{name}/ingest", s.handleIngest)
-	mux.HandleFunc("POST /a/{name}/repair", s.handleRepair)
+	handle("GET /stats", s.handleStats)
+	handle("GET /archives", s.handleArchives)
+	handle("GET /a/{name}", s.handleArchive)
+	handle("GET /a/{name}/raw", s.handleRaw)
+	handle("GET /a/{name}/snap/{snap}", s.handleSnap)
+	handle("GET /a/{name}/snap/{snap}/amr", s.handleSnapAMR)
+	handle("GET /a/{name}/snap/{snap}/level/{level}", s.handleLevel)
+	handle("POST /a/{name}/ingest", s.handleIngest)
+	handle("POST /a/{name}/repair", s.handleRepair)
 	return mux
 }
 
-// httpError maps an assembly error to a status code via the sentinel the
-// error was tagged with: unknown names and indices are the client's
-// fault, archive damage and everything untagged is a server-side failure.
-// Quarantined members answer a structured 502 — the damage is upstream of
-// this server, and the body says so in machine-readable form so clients
-// can stop retrying the poisoned member and keep using the rest.
-func httpError(w http.ResponseWriter, err error) {
-	if errors.Is(err, ErrQuarantined) {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusBadGateway)
-		enc := json.NewEncoder(w)
-		//nolint:errcheck // client went away; nothing to do
-		enc.Encode(struct {
-			Error       string `json:"error"`
-			Quarantined bool   `json:"quarantined"`
-			Retryable   bool   `json:"retryable"`
-		}{err.Error(), true, false})
+// handleRaw serves the committed bytes of one archive's current
+// generation with full Range / ETag / If-Range semantics — the mount
+// point a remote tacd (internal/remote) opens as its primary. The ETag
+// is a strong, generation-derived validator: an ingest commit changes
+// it, so a remote reader pinned to the old generation fails ErrChanged
+// (classified ErrIO downstream) instead of reading torn bytes.
+func (s *Server) handleRaw(w http.ResponseWriter, r *http.Request) {
+	sa, err := s.lookup(r.PathValue("name"))
+	if err != nil {
+		s.httpError(w, err)
 		return
+	}
+	st := sa.view()
+	w.Header().Set("ETag", fmt.Sprintf("\"taca-g%d-%d\"", st.r.Generation(), st.r.EndOffset()))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeContent(w, r, sa.name+".taca", time.Time{}, st.r.Section())
+}
+
+// errorBody is the JSON error envelope. Error and Retryable predate the
+// v1 surface and mirror Message; new clients should key on Code.
+type errorBody struct {
+	Code        string `json:"code"`
+	Message     string `json:"message"`
+	Member      *int   `json:"member,omitempty"`
+	Quarantined bool   `json:"quarantined,omitempty"`
+	Error       string `json:"error"`
+	Retryable   bool   `json:"retryable"`
+}
+
+// memberError tags an error with the member index it concerns so the
+// envelope can carry machine-readable coordinates.
+type memberError struct {
+	mi  int
+	err error
+}
+
+func (e *memberError) Error() string { return e.err.Error() }
+func (e *memberError) Unwrap() error { return e.err }
+
+// httpError maps an assembly error to a status code and the JSON error
+// envelope via the sentinel the error was tagged with: unknown names
+// and indices are the client's fault, archive damage and everything
+// untagged is a server-side failure. Quarantined members answer a
+// structured 502 — the damage is upstream of this server, and the body
+// says so in machine-readable form so clients can stop retrying the
+// poisoned member and keep using the rest.
+//
+// Client-attributable and archive-integrity messages pass through: they
+// are constructed by this package or the archive index layer and name
+// members, levels and checksums, never storage internals. Raw I/O and
+// untagged failures are sanitized — their messages carry file paths,
+// URLs and offsets — with the detail logged server-side (Config.Logf).
+func (s *Server) httpError(w http.ResponseWriter, err error) {
+	env := errorBody{Code: "internal", Message: err.Error()}
+	var me *memberError
+	if errors.As(err, &me) {
+		mi := me.mi
+		env.Member = &mi
 	}
 	code := http.StatusInternalServerError
 	switch {
+	case errors.Is(err, ErrQuarantined):
+		code = http.StatusBadGateway
+		env.Code = "quarantined"
+		env.Quarantined = true
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
+		env.Code = "not_found"
 	case errors.Is(err, ErrBadRequest):
 		code = http.StatusBadRequest
+		env.Code = "bad_request"
 	case errors.Is(err, ErrReadOnly):
 		code = http.StatusMethodNotAllowed
+		env.Code = "read_only"
 	case errors.Is(err, ErrBusy):
 		w.Header().Set("Retry-After", "1")
 		code = http.StatusTooManyRequests
+		env.Code = "busy"
+		env.Retryable = true
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", "5")
 		code = http.StatusServiceUnavailable
+		env.Code = "draining"
+		env.Retryable = true
 	case errors.Is(err, ErrNoReplica):
 		code = http.StatusConflict
+		env.Code = "no_replica"
 	case errors.Is(err, context.DeadlineExceeded):
 		code = http.StatusGatewayTimeout
+		env.Code = "timeout"
+		env.Retryable = true
+	case errors.Is(err, archive.ErrIO):
+		// Transient storage fault that survived the retry budget. The
+		// underlying error is an OS or network message (paths, URLs,
+		// offsets) — log it, don't leak it.
+		env.Code = "io"
+		env.Message = "transient storage read failure (retries exhausted); try again"
+		env.Retryable = true
+		s.cfg.Logf("server: io error: %v", err)
+	case errors.Is(err, archive.ErrCorrupt):
+		// Deterministic damage: the message is archive-constructed
+		// (member/level/batch coordinates, checksum mismatch) and safe.
+		env.Code = "corrupt"
+	default:
+		env.Message = "internal server error"
+		s.cfg.Logf("server: internal error: %v", err)
 	}
-	http.Error(w, err.Error(), code)
+	env.Error = env.Message
+	s.writeError(w, code, env)
+}
+
+// writeError emits the envelope with the given status.
+func (s *Server) writeError(w http.ResponseWriter, code int, env errorBody) {
+	env.Error = env.Message
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(env) //nolint:errcheck // client went away; nothing to do
 }
 
 // requestCtx derives the per-request context, bounded by RequestTimeout
@@ -182,7 +281,7 @@ type memberInfo struct {
 func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
 	sa, err := s.lookup(r.PathValue("name"))
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	members := sa.reader().Members()
@@ -232,7 +331,7 @@ func (s *Server) snapArgs(r *http.Request) (*servedArchive, int, *archive.Member
 func (s *Server) handleSnap(w http.ResponseWriter, r *http.Request) {
 	sa, mi, m, err := s.snapArgs(r)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	levels := make([]levelInfo, len(m.Levels))
@@ -261,14 +360,14 @@ func (s *Server) handleSnap(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSnapAMR(w http.ResponseWriter, r *http.Request) {
 	sa, mi, _, err := s.snapArgs(r)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	ds, err := s.DatasetContext(ctx, sa.name, mi)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -282,12 +381,12 @@ func (s *Server) handleSnapAMR(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleLevel(w http.ResponseWriter, r *http.Request) {
 	sa, mi, m, err := s.snapArgs(r)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	li, err := strconv.Atoi(r.PathValue("level"))
 	if err != nil {
-		httpError(w, fmt.Errorf("server: %w: level index %q is not a number", ErrBadRequest, r.PathValue("level")))
+		s.httpError(w, fmt.Errorf("server: %w: level index %q is not a number", ErrBadRequest, r.PathValue("level")))
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
@@ -297,19 +396,19 @@ func (s *Server) handleLevel(w http.ResponseWriter, r *http.Request) {
 	if roiStr := r.URL.Query().Get("roi"); roiStr != "" {
 		roi, err := grid.ParseRegion(roiStr)
 		if err != nil {
-			httpError(w, fmt.Errorf("server: %w: %w", ErrBadRequest, err))
+			s.httpError(w, fmt.Errorf("server: %w: %w", ErrBadRequest, err))
 			return
 		}
 		g, reg, err = s.RegionContext(ctx, sa.name, mi, li, roi)
 		if err != nil {
-			httpError(w, err)
+			s.httpError(w, err)
 			return
 		}
 	} else {
 		var idx *archive.LevelIndex
 		g, idx, err = s.LevelContext(ctx, sa.name, mi, li)
 		if err != nil {
-			httpError(w, err)
+			s.httpError(w, err)
 			return
 		}
 		reg = grid.RegionOf(idx.Dims)

@@ -7,14 +7,13 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"path/filepath"
-	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/amr"
 	"repro/internal/archive"
 	"repro/internal/codec"
+	"repro/internal/remote"
 )
 
 // maxIngestBody caps one ingest request body; .amr streams of realistic
@@ -92,20 +91,32 @@ func (s *Server) IngestStats() IngestStats {
 }
 
 // AddAppendFile opens a .taca file read-write and registers it as a
-// writable archive: reads are served exactly as with AddFile, and
-// POST /a/{name}/ingest appends snapshots to it. A torn tail from an
-// earlier crash is truncated on open (archive.OpenAppend). cfg sets the
-// compression parameters for ingested members; a zero ErrorBound
-// inherits them from the archive's newest member, so a growing campaign
-// keeps its established fidelity without restating it. The file is
-// sealed and closed by Server.Close after the queue drains.
+// writable archive.
+//
+// Deprecated: use Add with an ArchiveSpec{Append: true}.
 func (s *Server) AddAppendFile(spec string, cfg codec.Config) (string, error) {
-	name, path, ok := strings.Cut(spec, "=")
-	if !ok {
-		path = spec
-		name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	name, primary := splitSpec(spec)
+	return s.Add(name, ArchiveSpec{Primary: primary, Append: true, Ingest: cfg})
+}
+
+// addAppend opens spec.Primary read-write and registers it as a
+// writable archive: reads are served exactly as read-only specs, and
+// POST /a/{name}/ingest appends snapshots to it. A torn tail from an
+// earlier crash is truncated on open (archive.OpenAppend). spec.Ingest
+// sets the compression parameters for ingested members; a zero
+// ErrorBound inherits them from the archive's newest member, so a
+// growing campaign keeps its established fidelity without restating it.
+// The file is sealed and closed by Server.Close after the queue drains.
+func (s *Server) addAppend(name string, spec ArchiveSpec) (string, error) {
+	if remote.IsURL(spec.Primary) {
+		return "", fmt.Errorf("server: %s: append requires a local file, not a URL", spec.Primary)
 	}
-	w, f, err := archive.OpenAppendFile(path)
+	if len(spec.Replicas) > 0 {
+		// The repair splice and the append tail would race over the same
+		// file region; replicated archives are read-only for now.
+		return "", fmt.Errorf("server: %s: replicas cannot back a writable archive", spec.Primary)
+	}
+	w, f, err := archive.OpenAppendFile(spec.Primary)
 	if err != nil {
 		return "", err
 	}
@@ -113,11 +124,17 @@ func (s *Server) AddAppendFile(spec string, cfg codec.Config) (string, error) {
 	// tail. The writer primes each field's reference from the newest
 	// committed member, so chains continue seamlessly across restarts.
 	w.Keyframe = s.cfg.IngestKeyframe
+	if spec.Keyframe >= 2 {
+		w.Keyframe = spec.Keyframe
+	}
+	w.Checksums = w.Checksums || spec.Checksums
+	w.FooterSum = w.FooterSum || spec.FooterSum
 	r, err := archive.Open(f, w.Stats().BytesWritten)
 	if err != nil {
 		f.Close()
-		return "", fmt.Errorf("%s: %w", path, err)
+		return "", fmt.Errorf("%s: %w", spec.Primary, err)
 	}
+	cfg := spec.Ingest
 	if cfg.ErrorBound == 0 {
 		if ms := r.Members(); len(ms) > 0 {
 			last := &ms[len(ms)-1]
@@ -233,22 +250,22 @@ func (ing *ingester) handle(ds *amr.Dataset) ingestResult {
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	sa, err := s.lookup(r.PathValue("name"))
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	if sa.ing == nil {
-		httpError(w, fmt.Errorf("server: %w: archive %q was not opened for append", ErrReadOnly, sa.name))
+		s.httpError(w, fmt.Errorf("server: %w: archive %q was not opened for append", ErrReadOnly, sa.name))
 		return
 	}
 	if s.Draining() {
-		httpError(w, fmt.Errorf("server: %w", ErrDraining))
+		s.httpError(w, fmt.Errorf("server: %w", ErrDraining))
 		return
 	}
 	body := io.Reader(http.MaxBytesReader(w, r.Body, maxIngestBody))
 	if r.Header.Get("Content-Encoding") == "gzip" {
 		zr, err := gzip.NewReader(body)
 		if err != nil {
-			httpError(w, fmt.Errorf("server: %w: bad gzip body: %v", ErrBadRequest, err))
+			s.httpError(w, fmt.Errorf("server: %w: bad gzip body: %v", ErrBadRequest, err))
 			return
 		}
 		defer zr.Close()
@@ -258,24 +275,26 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			http.Error(w, "ingest body exceeds limit", http.StatusRequestEntityTooLarge)
+			s.writeError(w, http.StatusRequestEntityTooLarge, errorBody{
+				Code: "too_large", Message: "ingest body exceeds limit",
+			})
 			return
 		}
-		httpError(w, fmt.Errorf("server: %w: parsing .amr body: %v", ErrBadRequest, err))
+		s.httpError(w, fmt.Errorf("server: %w: parsing .amr body: %v", ErrBadRequest, err))
 		return
 	}
 	if err := ds.Validate(); err != nil {
-		httpError(w, fmt.Errorf("server: %w: invalid snapshot: %v", ErrBadRequest, err))
+		s.httpError(w, fmt.Errorf("server: %w: invalid snapshot: %v", ErrBadRequest, err))
 		return
 	}
 	reply, err := sa.ing.submit(ds)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	res := <-reply
 	if res.err != nil {
-		httpError(w, fmt.Errorf("server: appending snapshot: %w", res.err))
+		s.httpError(w, fmt.Errorf("server: appending snapshot: %w", res.err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -99,7 +99,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("member"); q != "" {
 		mi, aerr := strconv.Atoi(q)
 		if aerr != nil {
-			httpError(w, fmt.Errorf("server: %w: bad member %q", ErrBadRequest, q))
+			s.httpError(w, fmt.Errorf("server: %w: bad member %q", ErrBadRequest, q))
 			return
 		}
 		rs, lifted, err = s.RepairMember(name, mi)
@@ -107,7 +107,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		rs, lifted, err = s.RepairArchive(name)
 	}
 	if err != nil && (errors.Is(err, ErrNotFound) || errors.Is(err, ErrBadRequest) || errors.Is(err, ErrNoReplica)) {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	res := struct {

@@ -48,7 +48,7 @@ func flakyServer(t testing.TB, blob []byte, cfg Config) (*Server, *faultio.Reade
 	sr := &sleepRecorder{}
 	s.sleep = sr.sleep
 	s.jitter = func() float64 { return 0.5 }
-	if err := s.Add("test", r, nil); err != nil {
+	if err := s.AddReader("test", r, nil); err != nil {
 		t.Fatal(err)
 	}
 	return s, fr, sr

@@ -25,6 +25,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
+	"net/url"
+	"path"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -35,7 +38,9 @@ import (
 
 	"repro/internal/amr"
 	"repro/internal/archive"
+	"repro/internal/codec"
 	"repro/internal/grid"
+	"repro/internal/remote"
 	"repro/internal/replica"
 )
 
@@ -115,6 +120,10 @@ type Config struct {
 	// RequestTimeout, when > 0, bounds each HTTP extraction request;
 	// requests over budget answer 504. 0 leaves requests unbounded.
 	RequestTimeout time.Duration
+	// Logf receives server-side detail of sanitized 5xx responses (raw
+	// I/O errors may carry file paths, URLs and offsets that must not
+	// reach clients). nil means log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // archiveState is the immutable per-generation view of one archive: the
@@ -222,6 +231,9 @@ func New(cfg Config) *Server {
 	if cfg.QuarantineAfter == 0 {
 		cfg.QuarantineAfter = DefaultQuarantineAfter
 	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
 	s := &Server{
 		cfg:      cfg,
 		cache:    NewCache(cfg.CacheBytes, cfg.CacheShards),
@@ -249,9 +261,222 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 // Draining reports whether the server is refusing new ingests.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Add registers an opened archive under name. closer, if non-nil, is
-// closed by Server.Close. Names must be unique and non-empty.
-func (s *Server) Add(name string, r *archive.Reader, closer io.Closer) error {
+// ArchiveSpec describes one archive to register: where its bytes live
+// (a local path or an http(s):// URL), which replica copies back it, and
+// whether it accepts live ingest. Server.Add is the single registration
+// entry point; AddFile / AddFileReplicas / AddAppendFile are deprecated
+// wrappers over it.
+type ArchiveSpec struct {
+	// Primary is the archive's byte source: a local file path, or an
+	// http(s):// URL of any range-capable server (another tacd's
+	// /a/{name}/raw endpoint, nginx, an S3-style store).
+	Primary string
+	// Replicas are additional byte-identical copies (paths or URLs):
+	// reads fail over to them when the primary errors, and they are the
+	// fetch source for member repair. A replica lagging generations is
+	// tolerated — reads past its end fail over.
+	Replicas []string
+	// Append opens the archive read-write for POST ingest. The primary
+	// must be a local path and Replicas must be empty (the repair splice
+	// and the append tail would race over the same region).
+	Append bool
+	// Ingest sets compression parameters for ingested members (Append
+	// only). A zero ErrorBound inherits from the archive's newest member.
+	Ingest codec.Config
+	// Keyframe, when ≥ 2, delta-codes ingested members with this
+	// keyframe interval; 0 falls back to Config.IngestKeyframe.
+	Keyframe int
+	// Checksums and FooterSum set the integrity policy for ingested
+	// frames (archive.Writer.Checksums / FooterSum). Appending to an
+	// archive that already carries digests keeps them regardless.
+	Checksums bool
+	FooterSum bool
+	// Remote tunes URL sources. A zero SegmentBytes is auto-sized to the
+	// archive's typical frame span once the footer is parsed.
+	Remote remote.Config
+}
+
+// Add opens every source named by spec and registers the archive under
+// name (empty name derives one from the primary, mirroring SpecName).
+// It returns the registered name. This is the one registration entry
+// point; every layer — local files, URL primaries, replicated sets,
+// append mode — is a field on the spec, not a separate method.
+func (s *Server) Add(name string, spec ArchiveSpec) (string, error) {
+	if spec.Primary == "" {
+		return "", fmt.Errorf("server: spec has no primary source")
+	}
+	if name == "" {
+		name = deriveName(spec.Primary)
+	}
+	if spec.Append {
+		return s.addAppend(name, spec)
+	}
+	if len(spec.Replicas) == 0 {
+		src, size, err := s.openSource(spec.Primary, spec.Remote)
+		if err != nil {
+			return "", err
+		}
+		r, err := archive.Open(src, size)
+		if err != nil {
+			src.Close()
+			return "", fmt.Errorf("%s: %w", spec.Primary, err)
+		}
+		tuneRemote(r, src, spec.Remote)
+		if err := s.AddReader(name, r, src); err != nil {
+			src.Close()
+			return "", err
+		}
+		return name, nil
+	}
+	srcs := make([]replica.Source, 0, 1+len(spec.Replicas))
+	closeAll := func() {
+		for _, src := range srcs {
+			if c, ok := src.(io.Closer); ok {
+				c.Close()
+			}
+		}
+	}
+	primary, size, err := s.openSource(spec.Primary, spec.Remote)
+	if err != nil {
+		return "", err
+	}
+	srcs = append(srcs, primary)
+	for _, rp := range spec.Replicas {
+		src, _, err := s.openSource(rp, spec.Remote)
+		if err != nil {
+			closeAll()
+			return "", err
+		}
+		srcs = append(srcs, src)
+	}
+	serve, err := replica.New(replica.Config{}, srcs...)
+	if err != nil {
+		closeAll()
+		return "", err
+	}
+	// The repair fetch path reads from the replicas only — re-fetching a
+	// damaged frame from the file being repaired would splice the damage
+	// back. Sources are shared with the serve Multi; only serve owns
+	// closing them.
+	fetch, err := replica.New(replica.Config{}, srcs[1:]...)
+	if err != nil {
+		serve.Close()
+		return "", err
+	}
+	r, err := archive.Open(serve, size)
+	if err != nil {
+		serve.Close()
+		return "", fmt.Errorf("%s: %w", spec.Primary, err)
+	}
+	tuneRemote(r, primary, spec.Remote)
+	// In-place member repair splices into the primary file; a URL
+	// primary has no splice target, so repair stays ErrNoReplica there
+	// while per-read failover still works.
+	path := spec.Primary
+	if remote.IsURL(path) {
+		path = ""
+	}
+	sa := &servedArchive{name: name, closer: serve, path: path, replicas: fetch}
+	if err := s.addArchive(sa, r); err != nil {
+		serve.Close()
+		return "", err
+	}
+	return name, nil
+}
+
+// sourceCloser is a replica.Source that can release its resources.
+type sourceCloser interface {
+	replica.Source
+	io.Closer
+}
+
+// openSource opens one byte source named by a path or URL.
+func (s *Server) openSource(spec string, rcfg remote.Config) (sourceCloser, int64, error) {
+	if remote.IsURL(spec) {
+		rr, err := remote.Open(spec, rcfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		return rr, rr.Size(), nil
+	}
+	fs, err := replica.OpenFile(spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	return fs, fs.Size(), nil
+}
+
+// tuneRemote sizes a remote source's read-ahead segments to the parsed
+// archive's typical frame span, unless the spec pinned an explicit
+// size. A frame is the archive's unit of read, so one-frame segments
+// get each frame fetched over the wire exactly once (singleflight +
+// cache) while keeping scattered ROI reads from dragging in neighbors
+// they never touch — larger segments were measured to double or triple
+// the bytes fetched for region queries for a marginal request-count
+// saving on sequential scans.
+func tuneRemote(r *archive.Reader, src replica.Source, rcfg remote.Config) {
+	rr, ok := src.(*remote.Reader)
+	if !ok || rcfg.SegmentBytes != 0 {
+		return
+	}
+	if fb := r.TypicalFrameBytes(); fb > 0 {
+		seg := int64(1)
+		for seg < fb {
+			seg <<= 1
+		}
+		rr.Retune(seg)
+	}
+}
+
+// deriveName is the serving name derived from a primary source: the
+// base name minus extension for paths; for URLs, the last path element
+// (with a trailing /raw resolving to its parent, so mounting another
+// tacd's /a/{name}/raw endpoint inherits that name).
+func deriveName(primary string) string {
+	if remote.IsURL(primary) {
+		p := primary
+		if u, err := url.Parse(primary); err == nil && u.Path != "" {
+			p = u.Path
+		}
+		p = strings.TrimSuffix(p, "/")
+		if rest, ok := strings.CutSuffix(p, "/raw"); ok && path.Base(rest) != "/" {
+			p = rest
+		}
+		base := path.Base(p)
+		return strings.TrimSuffix(base, path.Ext(base))
+	}
+	return strings.TrimSuffix(filepath.Base(primary), filepath.Ext(primary))
+}
+
+// SpecName resolves the serving name of a CLI archive spec: the
+// explicit name of name=path-or-URL, else the derived name (see
+// deriveName). cmd/tacd uses it to bind -replica flags by name before
+// anything is opened.
+func SpecName(spec string) string {
+	name, _ := splitSpec(spec)
+	return name
+}
+
+// SplitSpec splits a CLI archive spec into its serving name and primary
+// source (path or URL), per the SpecName rules.
+func SplitSpec(spec string) (name, primary string) {
+	return splitSpec(spec)
+}
+
+// splitSpec splits a CLI spec into (name, primary). The name=primary
+// form only applies when the part before '=' looks like a name (no '/'
+// or ':'), so bare URLs with query strings are not mis-split.
+func splitSpec(spec string) (name, primary string) {
+	if n, p, ok := strings.Cut(spec, "="); ok && !strings.ContainsAny(n, "/:") {
+		return n, p
+	}
+	return deriveName(spec), spec
+}
+
+// AddReader registers an already-opened archive under name. closer, if
+// non-nil, is closed by Server.Close. Names must be unique and
+// non-empty.
+func (s *Server) AddReader(name string, r *archive.Reader, closer io.Closer) error {
 	return s.add(name, r, closer, nil)
 }
 
@@ -280,89 +505,24 @@ func (s *Server) addArchive(sa *servedArchive, r *archive.Reader) error {
 	return nil
 }
 
-// AddFile opens a .taca file and registers it under its base name with
-// the extension stripped (override by passing spec as "name=path").
+// AddFile opens a .taca file (or URL) and registers it under its
+// derived name (override by passing spec as "name=path").
+//
+// Deprecated: use Add with an ArchiveSpec.
 func (s *Server) AddFile(spec string) (string, error) {
-	name, path, ok := strings.Cut(spec, "=")
-	if !ok {
-		path = spec
-		name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-	}
-	fr, err := archive.OpenFile(path)
-	if err != nil {
-		return "", err
-	}
-	if err := s.Add(name, fr.Reader, fr); err != nil {
-		fr.Close()
-		return "", err
-	}
-	return name, nil
+	name, primary := splitSpec(spec)
+	return s.Add(name, ArchiveSpec{Primary: primary})
 }
 
-// AddFileReplicas is AddFile with replica copies attached: the archive is
-// served through a failover reader over [local, replicas...] — a source
-// that fails repeatedly is demoted and probed on a backoff, and a read
-// the local file cannot serve fails over to the next copy — and the
-// replicas double as the fetch source for member repair (POST
-// /a/{name}/repair, and the automatic repair attempt when a member is
-// quarantined). Every copy must be byte-identical to the primary at its
-// newest generation (a replica lagging generations is tolerated: reads
-// past its end fail over). With no replica paths this is exactly AddFile.
+// AddFileReplicas is AddFile with replica copies attached: reads fail
+// over to them when the primary errors, and a quarantined member is
+// automatically re-fetched, digest-verified, and spliced back into the
+// primary.
+//
+// Deprecated: use Add with an ArchiveSpec.
 func (s *Server) AddFileReplicas(spec string, replicaPaths []string) (string, error) {
-	if len(replicaPaths) == 0 {
-		return s.AddFile(spec)
-	}
-	name, path, ok := strings.Cut(spec, "=")
-	if !ok {
-		path = spec
-		name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-	}
-	srcs := make([]replica.Source, 0, 1+len(replicaPaths))
-	closeAll := func() {
-		for _, src := range srcs {
-			if c, ok := src.(io.Closer); ok {
-				c.Close()
-			}
-		}
-	}
-	primary, err := replica.OpenFile(path)
-	if err != nil {
-		return "", err
-	}
-	srcs = append(srcs, primary)
-	for _, rp := range replicaPaths {
-		src, err := replica.OpenFile(rp)
-		if err != nil {
-			closeAll()
-			return "", err
-		}
-		srcs = append(srcs, src)
-	}
-	serve, err := replica.New(replica.Config{}, srcs...)
-	if err != nil {
-		closeAll()
-		return "", err
-	}
-	// The repair fetch path reads from the replicas only — re-fetching a
-	// damaged frame from the file being repaired would splice the damage
-	// back. Sources are shared with the serve Multi; only serve owns
-	// closing them.
-	fetch, err := replica.New(replica.Config{}, srcs[1:]...)
-	if err != nil {
-		serve.Close()
-		return "", err
-	}
-	r, err := archive.Open(serve, primary.Size())
-	if err != nil {
-		serve.Close()
-		return "", fmt.Errorf("%s: %w", path, err)
-	}
-	sa := &servedArchive{name: name, closer: serve, path: path, replicas: fetch}
-	if err := s.addArchive(sa, r); err != nil {
-		serve.Close()
-		return "", err
-	}
-	return name, nil
+	name, primary := splitSpec(spec)
+	return s.Add(name, ArchiveSpec{Primary: primary, Replicas: replicaPaths})
 }
 
 // Close drains every ingester (queued snapshots finish compressing and
@@ -446,7 +606,7 @@ func (sa *servedArchive) member(st *archiveState, mi int) (*archive.Member, erro
 // member it was detected in.
 func (s *Server) batch(sa *servedArchive, st *archiveState, mi, li, b int) (blocks, error) {
 	if reason, q := sa.quarantinedMember(mi); q {
-		return nil, fmt.Errorf("server: %w: archive %q snapshot %d: %s", ErrQuarantined, sa.name, mi, reason)
+		return nil, &memberError{mi: mi, err: fmt.Errorf("server: %w: archive %q snapshot %d: %s", ErrQuarantined, sa.name, mi, reason)}
 	}
 	v, err := s.cache.GetOrFill(Key{Archive: sa.name, Member: mi, Level: li, Batch: b}, func() (blocks, int64, error) {
 		ref, delta, err := st.r.BatchDep(mi, li, b)
@@ -468,8 +628,13 @@ func (s *Server) batch(sa *servedArchive, st *archiveState, mi, li, b int) (bloc
 	})
 	if err != nil {
 		s.noteError(sa, mi, err)
+		// Tag the failure with its member so the HTTP envelope can carry
+		// machine-readable coordinates (nested tags from a reference
+		// chain are fine: errors.As finds the outermost, which is the
+		// member the client actually asked for).
+		return v, &memberError{mi: mi, err: err}
 	}
-	return v, err
+	return v, nil
 }
 
 // forEachBatch runs fn(b) for every batch index in jobs, fanning out

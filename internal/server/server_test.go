@@ -62,7 +62,7 @@ func newTestServer(t testing.TB, blob []byte, cfg Config) (*Server, *archive.Rea
 		t.Fatal(err)
 	}
 	s := New(cfg)
-	if err := s.Add("test", r, nil); err != nil {
+	if err := s.AddReader("test", r, nil); err != nil {
 		t.Fatal(err)
 	}
 	return s, r
@@ -374,7 +374,7 @@ func TestCloseThenReaddServesFreshData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Add("test", r2, nil); err != nil {
+	if err := s.AddReader("test", r2, nil); err != nil {
 		t.Fatal(err)
 	}
 	fresh := get(t, h, "/a/test/snap/0/level/0")
